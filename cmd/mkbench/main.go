@@ -1,0 +1,51 @@
+// Command mkbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	mkbench            # run every experiment
+//	mkbench -run fig7  # run one experiment by ID
+//	mkbench -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"musketeer/internal/bench"
+)
+
+func main() {
+	runID := flag.String("run", "", "run only the experiment with this ID (e.g. fig7)")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	exps := bench.All()
+	if *runID != "" {
+		e, err := bench.ByID(*runID)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		exps = []bench.Experiment{e}
+	}
+	for _, e := range exps {
+		start := time.Now()
+		table, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("   (%s generated in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,21 @@
+// Command mkcalibrate prints the engines' calibrated cost-function rate
+// parameters (the paper's Table 1) and the round-trip check deriving PULL
+// back from a measured job.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"musketeer/internal/bench"
+)
+
+func main() {
+	exp := bench.Tab1Calibration()
+	table, err := exp.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	table.Fprint(os.Stdout)
+}

@@ -1,0 +1,201 @@
+// Command musketeer compiles and executes a workflow file against staged
+// relation files, on an explicitly chosen back-end or via automatic mapping.
+//
+// Relations are staged from files in the TSV-with-header format produced by
+// Relation.Encode (see internal/relation). Example:
+//
+//	musketeer -frontend hive -workflow q17.hive \
+//	    -table lineitem=lineitem.tsv -table part=part.tsv \
+//	    -cluster ec2:100 -engine auto -show-code
+//
+// GAS workflows additionally need -gas-vertices / -gas-edges naming the
+// vertex and edge tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"musketeer"
+	"musketeer/internal/relation"
+)
+
+type tableFlags map[string]string
+
+func (t tableFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tableFlags) Set(v string) error {
+	name, file, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("expected name=file, got %q", v)
+	}
+	t[name] = file
+	return nil
+}
+
+func main() {
+	frontend := flag.String("frontend", "hive", "front-end framework: hive, beer, pig or gas")
+	workflowPath := flag.String("workflow", "", "workflow source file")
+	engine := flag.String("engine", "auto", `back-end engine, or "auto" for automatic mapping`)
+	clusterSpec := flag.String("cluster", "local:7", "deployment: local:<n> or ec2:<n>")
+	showCode := flag.Bool("show-code", false, "print the generated back-end code")
+	showPlan := flag.Bool("show-plan", false, "print the IR DAG and partitioning")
+	explain := flag.Bool("explain", false, "print the cost model's reasoning for the chosen partitioning")
+	dot := flag.Bool("dot", false, "print the IR DAG in Graphviz dot syntax and exit")
+	gasVertices := flag.String("gas-vertices", "vertices", "GAS front-end: vertex table name")
+	gasEdges := flag.String("gas-edges", "edges", "GAS front-end: edge table name")
+	gasOutput := flag.String("gas-output", "result", "GAS front-end: output relation name")
+	historyPath := flag.String("history", "", "workflow-history file: loaded before planning, saved after the run")
+	mtbf := flag.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
+	tables := tableFlags{}
+	flag.Var(tables, "table", "stage a relation: name=file (repeatable)")
+	flag.Parse()
+
+	if *workflowPath == "" {
+		fail("missing -workflow")
+	}
+	src, err := os.ReadFile(*workflowPath)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	opts := []musketeer.Option{clusterOption(*clusterSpec)}
+	if *historyPath != "" {
+		h, err := musketeer.LoadHistory(*historyPath)
+		if err != nil {
+			fail("history: %v", err)
+		}
+		opts = append(opts, musketeer.WithHistory(h))
+	}
+	if *mtbf > 0 {
+		opts = append(opts, musketeer.WithFaults(*mtbf, 1))
+	}
+	m := musketeer.New(opts...)
+	cat := musketeer.Catalog{}
+	for name, file := range tables {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fail("table %s: %v", name, err)
+		}
+		rel, err := relation.DecodeBytes(name, data)
+		if err != nil {
+			fail("table %s: %v", name, err)
+		}
+		path := "in/" + name
+		if err := m.WriteInput(path, rel); err != nil {
+			fail("table %s: %v", name, err)
+		}
+		cat[name] = musketeer.Table{Path: path, Schema: rel.Schema}
+	}
+
+	var wf *musketeer.Workflow
+	switch *frontend {
+	case "hive":
+		wf, err = m.CompileHive(string(src), cat)
+	case "beer":
+		wf, err = m.CompileBEER(string(src), cat)
+	case "pig":
+		wf, err = m.CompilePig(string(src), cat)
+	case "gas":
+		wf, err = m.CompileGAS(string(src), cat, musketeer.GASConfig{
+			Vertices: *gasVertices, Edges: *gasEdges, Output: *gasOutput,
+		})
+	default:
+		fail("unknown front-end %q", *frontend)
+	}
+	if err != nil {
+		fail("compile: %v", err)
+	}
+
+	wf.Optimize()
+	if *dot {
+		fmt.Println(wf.DAG().DOT(*workflowPath))
+		return
+	}
+	var part *musketeer.Partitioning
+	if *engine == "auto" {
+		part, err = wf.Plan()
+	} else {
+		part, err = wf.PlanFor(*engine)
+	}
+	if err != nil {
+		fail("plan: %v", err)
+	}
+	if *showPlan {
+		fmt.Println("IR DAG:")
+		fmt.Println(wf.DAG())
+		fmt.Println("partitioning:")
+		fmt.Println(part)
+	}
+	if *explain {
+		text, err := wf.Explain(part)
+		if err != nil {
+			fail("explain: %v", err)
+		}
+		fmt.Println(text)
+	}
+	if *showCode {
+		code, err := wf.GeneratedCode(part)
+		if err != nil {
+			fail("codegen: %v", err)
+		}
+		fmt.Println(code)
+	}
+
+	res, err := wf.Run(part)
+	if err != nil {
+		fail("run: %v", err)
+	}
+	fmt.Printf("executed %d job(s) on %v, simulated makespan %v\n",
+		len(res.Jobs), part.Engines(), res.Makespan)
+	if *historyPath != "" {
+		if err := m.History().Save(*historyPath); err != nil {
+			fail("history: %v", err)
+		}
+	}
+	for _, job := range res.Jobs {
+		fmt.Printf("  %-10s %-30s %v\n", job.Engine, job.Job, job.Makespan)
+	}
+	// Print workflow outputs (sinks).
+	for _, sink := range wf.DAG().Sinks() {
+		out, err := m.ReadOutput(sink.Out)
+		if err != nil {
+			continue
+		}
+		fmt.Printf("output %q: %d rows", sink.Out, out.NumRows())
+		limit := out.NumRows()
+		if limit > 5 {
+			limit = 5
+		}
+		for _, row := range out.Rows[:limit] {
+			cells := make([]string, len(row))
+			for i, v := range row {
+				cells[i] = v.String()
+			}
+			fmt.Printf("\n  %s", strings.Join(cells, "\t"))
+		}
+		fmt.Println()
+	}
+}
+
+func clusterOption(spec string) musketeer.Option {
+	kind, nStr, ok := strings.Cut(spec, ":")
+	n := 7
+	if ok {
+		if v, err := strconv.Atoi(nStr); err == nil {
+			n = v
+		}
+	}
+	if kind == "ec2" {
+		return musketeer.EC2(n)
+	}
+	return musketeer.LocalCluster(n)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,93 @@
+package musketeer_test
+
+import (
+	"fmt"
+	"log"
+
+	"musketeer"
+	"musketeer/internal/relation"
+)
+
+// Example reproduces the paper's Listing 1 workflow end to end: compile the
+// Hive query, let Musketeer choose the back-end, run it, and read the
+// result from the shared filesystem.
+func Example() {
+	m := musketeer.New(musketeer.LocalCluster(7))
+
+	props := musketeer.NewRelation("properties", musketeer.NewSchema("id:int", "street:string", "town:string"))
+	prices := musketeer.NewRelation("prices", musketeer.NewSchema("id:int", "price:float"))
+	rows := []struct {
+		id     int64
+		street string
+		price  float64
+	}{
+		{1, "mill road", 350000},
+		{2, "mill road", 410000},
+		{3, "high street", 275000},
+	}
+	for _, r := range rows {
+		props.MustAppend(relation.Row{relation.Int(r.id), relation.Str(r.street), relation.Str("cambridge")})
+		prices.MustAppend(relation.Row{relation.Int(r.id), relation.Float(r.price)})
+	}
+	check(m.WriteInput("in/properties", props))
+	check(m.WriteInput("in/prices", prices))
+
+	wf, err := m.CompileHive(`
+SELECT id, street, town FROM properties AS locs;
+locs JOIN prices ON locs.id = prices.id AS id_price;
+SELECT street, town, MAX(price) AS max_price FROM id_price GROUP BY street AND town AS street_price;
+`, musketeer.Catalog{
+		"properties": {Path: "in/properties", Schema: props.Schema},
+		"prices":     {Path: "in/prices", Schema: prices.Schema},
+	})
+	check(err)
+
+	_, err = wf.Execute()
+	check(err)
+
+	out, err := m.ReadOutput("street_price")
+	check(err)
+	out.SortRows()
+	for _, row := range out.Rows {
+		fmt.Printf("%s, %s: %.0f\n", row[0].S, row[1].S, row[2].F)
+	}
+	// Output:
+	// high street, cambridge: 275000
+	// mill road, cambridge: 410000
+}
+
+// ExampleWorkflow_ExecuteOn forces the same workflow onto an explicitly
+// chosen back-end — the "users can explicitly target back-end execution
+// engines" path.
+func ExampleWorkflow_ExecuteOn() {
+	m := musketeer.New(musketeer.EC2(16))
+	rel := musketeer.NewRelation("t", musketeer.NewSchema("k:int", "v:float"))
+	for i := int64(0); i < 10; i++ {
+		rel.MustAppend(relation.Row{relation.Int(i % 2), relation.Float(float64(i))})
+	}
+	check(m.WriteInput("in/t", rel))
+
+	wf, err := m.CompileBEER(`sums = AGG SUM(v) AS total FROM t GROUP BY k;`,
+		musketeer.Catalog{"t": {Path: "in/t", Schema: rel.Schema}})
+	check(err)
+	res, err := wf.ExecuteOn("hadoop")
+	check(err)
+	fmt.Printf("jobs: %d on %v\n", len(res.Jobs), res.Partitioning.Engines())
+
+	out, err := m.ReadOutput("sums")
+	check(err)
+	out.SortRows()
+	for _, row := range out.Rows {
+		fmt.Printf("k=%d total=%.0f\n", row[0].I, row[1].F)
+	}
+	// Output:
+	// jobs: 1 on [hadoop]
+	// k=0 total=20
+	// k=1 total=25
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,58 @@
+// Top-N via the extensible operator set (paper §4.2): SORT and LIMIT are
+// not part of Musketeer's initial operator set — they were added the way
+// the paper prescribes (schema inference + kernel + bounds + code
+// templates) and immediately work across every layer: the BEER front-end,
+// the optimizer, MapReduce job-boundary rules (SORT is a shuffle), code
+// generation, and all back-ends.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"musketeer"
+	"musketeer/internal/workloads"
+)
+
+const workflow = `
+eu     = SELECT * FROM purchases WHERE region == "EU";
+totals = AGG SUM(value) AS total FROM eu GROUP BY uid;
+ranked = SORT totals BY total DESC;
+top5   = LIMIT ranked 5;
+`
+
+func main() {
+	base := workloads.TopShopper(50_000_000)
+	m := musketeer.New(musketeer.EC2(100))
+	for path, rel := range base.Inputs {
+		check(m.WriteInput(path, rel))
+	}
+	cat := musketeer.Catalog{
+		"purchases": {Path: "in/purchases", Schema: base.Inputs["in/purchases"].Schema},
+	}
+	wf, err := m.CompileBEER(workflow, cat)
+	check(err)
+
+	// On MapReduce back-ends the SORT is a second shuffle, so Hadoop needs
+	// an extra job; general dataflow engines run everything as one job.
+	for _, engine := range []string{"hadoop", "naiad"} {
+		part, err := wf.PlanFor(engine)
+		check(err)
+		res, err := wf.Run(part)
+		check(err)
+		fmt.Printf("%-7s %d job(s), makespan %v\n", engine, len(res.Jobs), res.Makespan)
+	}
+
+	out, err := m.ReadOutput("top5")
+	check(err)
+	fmt.Println("\ntop-5 EU spenders:")
+	for _, row := range out.Rows {
+		fmt.Printf("  user %-5d total %.2f\n", row[0].I, row[1].F)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

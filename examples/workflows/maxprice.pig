@@ -1,0 +1,5 @@
+# The paper's Listing 1 workflow, in Pig Latin.
+locs = FOREACH properties GENERATE id, street, town;
+j    = JOIN locs BY id, prices BY id;
+g    = GROUP j BY (street, town);
+best = FOREACH g GENERATE group, MAX(j.price) AS max_price;

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/engines"
+	"musketeer/internal/workloads"
+)
+
+func TestTablePrinting(t *testing.T) {
+	tb := &Table{
+		ID:      "x",
+		Title:   "demo",
+		Columns: []string{"a", "bbbb"},
+	}
+	tb.AddRow("1", "2")
+	tb.AddRow("333", "4")
+	tb.Note("hello %d", 42)
+	var sb strings.Builder
+	tb.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"demo", "bbbb", "333", "hello 42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig7"); err != nil {
+		t.Error(err)
+	}
+	if _, err := ByID("FIG7"); err != nil {
+		t.Error("ByID should be case-insensitive")
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown ID accepted")
+	}
+}
+
+func TestAllExperimentsDistinctIDs(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Errorf("duplicate experiment ID %q", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+	}
+	if len(seen) < 16 {
+		t.Errorf("only %d experiments registered", len(seen))
+	}
+}
+
+func TestMappingQualityThresholds(t *testing.T) {
+	if mappingQuality(105, 100) != "good" {
+		t.Error("5% over best should be good")
+	}
+	if mappingQuality(125, 100) != "reasonable" {
+		t.Error("25% over best should be reasonable")
+	}
+	if mappingQuality(200, 100) != "poor" {
+		t.Error("2x over best should be poor")
+	}
+}
+
+func TestFig14ConfigsCount(t *testing.T) {
+	if got := len(fig14Configs()); got != 33 {
+		t.Errorf("configs = %d, want the paper's 33", got)
+	}
+}
+
+func TestRunOnAndAutoAgreeOnResults(t *testing.T) {
+	w := workloads.TopShopper(1_000_000)
+	c := cluster.Local(7)
+	single, err := runOn(w, c, "naiad", engines.ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := runAuto(w, c, nil, engines.ModeOptimized, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Jobs == 0 || auto.Jobs == 0 {
+		t.Error("no jobs executed")
+	}
+	if auto.Makespan > single.Makespan*2 {
+		t.Errorf("auto (%v) much worse than a known-good single mapping (%v)", auto.Makespan, single.Makespan)
+	}
+}
+
+func TestRunUnmergedSlower(t *testing.T) {
+	w := workloads.TopShopper(10_000_000)
+	c := cluster.EC2(100)
+	on, err := runOn(w, c, "hadoop", engines.ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := runUnmerged(w, c, "hadoop", engines.ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Makespan <= on.Makespan {
+		t.Errorf("unmerged (%v) should be slower than merged (%v)", off.Makespan, on.Makespan)
+	}
+}
+
+func TestRunComboUsesGraphEngine(t *testing.T) {
+	lj := workloads.GenerateGraph("a", 4_800_000, 68_000_000, 300, 31)
+	web := workloads.GenerateGraph("b", 5_800_000, 82_000_000, 300, 32)
+	// Force overlap so the iterative phase is non-trivial.
+	w := workloads.CrossCommunityPageRank(lj, lj, 3)
+	_ = web
+	r, err := runCombo(w, cluster.Local(7), "hadoop", "powergraph")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range r.Engines {
+		if e == "powergraph" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("combo did not use the graph engine: %v", r.Engines)
+	}
+}
+
+func TestUnknownEngineErrors(t *testing.T) {
+	w := workloads.TopShopper(1_000_000)
+	if _, err := runOn(w, cluster.Local(7), "flink", engines.ModeOptimized); err == nil {
+		t.Error("unknown engine accepted by runOn")
+	}
+	if _, err := runUnmerged(w, cluster.Local(7), "flink", engines.ModeOptimized); err == nil {
+		t.Error("unknown engine accepted by runUnmerged")
+	}
+	if _, err := runAuto(w, cluster.Local(7), []string{"flink"}, engines.ModeOptimized, nil); err == nil {
+		t.Error("unknown engine accepted by runAuto")
+	}
+}
+
+// TestCheapExperimentsProduceTables smoke-tests the fast experiments end to
+// end (the full set runs under `go test -bench` / cmd/mkbench).
+func TestCheapExperimentsProduceTables(t *testing.T) {
+	for _, id := range []string{"fig2a", "fig7", "fig12a", "fig13", "tab1", "sec7"} {
+		exp, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		table, err := exp.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(table.Rows) == 0 || len(table.Columns) == 0 {
+			t.Errorf("%s: empty table", id)
+		}
+	}
+}
+
+// TestExperimentIDsCoverDesignIndex keeps DESIGN.md's per-experiment index
+// and the registered experiments in sync: every benchmark named there must
+// resolve.
+func TestExperimentIDsCoverDesignIndex(t *testing.T) {
+	for _, id := range []string{
+		"fig2a", "fig2b", "fig3", "fig7", "fig8", "fig8c", "fig9",
+		"fig10", "fig11", "fig12a", "fig12b", "fig13", "fig14",
+		"fig15", "fig16", "tab1", "tab3", "sec7", "ext-faults",
+	} {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("experiment %q missing: %v", id, err)
+		}
+	}
+	if got := len(All()); got != 19 {
+		t.Errorf("registered experiments = %d, want 19", got)
+	}
+}

@@ -1,0 +1,320 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/dfs"
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// Infeasible is the cost of a partition containing non-mergeable operators
+// (paper §5.1: "the cost of any partition containing non-mergeable
+// operators is infinite").
+var Infeasible = cluster.Seconds(math.Inf(1))
+
+// DefaultIterEstimate is assumed for condition-only WHILE loops with no
+// recorded iteration history.
+const DefaultIterEstimate = 10
+
+// hiBound returns the conservative first-run output-size factor of an
+// operator relative to its total input volume (paper §5.2: "Musketeer
+// applies conservative data size bounds... JOIN operators have unknown data
+// size bounds"). Selective operators are bounded by their input; generative
+// operators get deliberately pessimistic factors, which is what makes the
+// first-run mapper shy away from merging past joins.
+func hiBound(t ir.OpType) float64 {
+	switch t {
+	case ir.OpJoin:
+		return 3.0
+	case ir.OpCrossJoin:
+		return 25.0
+	case ir.OpUnion:
+		return 1.0 // of the summed inputs
+	case ir.OpUDF:
+		return 2.0
+	case ir.OpArith:
+		return 1.1
+	case ir.OpLimit:
+		return 0.05 // top-N outputs are tiny relative to their input
+	default: // SELECT, PROJECT, DISTINCT, INTERSECT, DIFFERENCE, AGG, SORT
+		return 1.0
+	}
+}
+
+// Estimator predicts per-operator data volumes for a workflow and scores
+// fragment/engine combinations. It seeds source sizes from the DFS (the
+// run-time input data size), propagates them through the DAG using
+// conservative bounds, and substitutes observed ratios where workflow
+// history exists.
+type Estimator struct {
+	Cluster *cluster.Cluster
+	History *History
+
+	dag    *ir.DAG
+	sizes  map[*ir.Op]int64
+	iters  map[*ir.Op]int
+	inputs map[string]int64 // DFS path -> effective bytes
+	// hashes caches DAG hashes (top-level and WHILE bodies) for history
+	// lookups.
+	hashes map[*ir.DAG]string
+	// reach[op] is the set of ops transitively reachable from op
+	// (descendants), used by the exhaustive partitioner's cycle check.
+	reach map[*ir.Op]map[*ir.Op]bool
+}
+
+// NewEstimator analyses the DAG against the stored inputs and history.
+func NewEstimator(dag *ir.DAG, fs *dfs.DFS, c *cluster.Cluster, h *History) (*Estimator, error) {
+	if h == nil {
+		h = NewHistory()
+	}
+	est := &Estimator{
+		Cluster: c, History: h, dag: dag,
+		sizes:  map[*ir.Op]int64{},
+		iters:  map[*ir.Op]int{},
+		inputs: map[string]int64{},
+		hashes: map[*ir.DAG]string{},
+		reach:  map[*ir.Op]map[*ir.Op]bool{},
+	}
+	if fs != nil {
+		for _, path := range collectInputPaths(dag, nil) {
+			st, err := fs.Stat(path)
+			if err != nil {
+				return nil, fmt.Errorf("core: input %q: %w", path, err)
+			}
+			est.inputs[path] = st.EffectiveBytes()
+		}
+		if err := est.propagate(dag, nil); err != nil {
+			return nil, err
+		}
+	}
+	est.buildReach(dag)
+	return est, nil
+}
+
+// WithInputSizes declares source sizes directly (keyed by DFS path or by
+// the source's relation name) and re-propagates. It is how callers size a
+// workflow before its inputs are staged — and how the WHILE driver sizes
+// loop bodies.
+func (e *Estimator) WithInputSizes(sizes map[string]int64) (*Estimator, error) {
+	for k, v := range sizes {
+		e.inputs[k] = v
+	}
+	if err := e.propagate(e.dag, nil); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+func collectInputPaths(d *ir.DAG, acc []string) []string {
+	for _, op := range d.Ops {
+		if op.Type == ir.OpInput && op.Params.Path != "" {
+			acc = append(acc, op.Params.Path)
+		}
+		if op.Params.Body != nil {
+			acc = collectInputPaths(op.Params.Body, acc)
+		}
+	}
+	return acc
+}
+
+// propagate computes estimated sizes for every op of d. For WHILE bodies,
+// outerSizes binds body input names to outer estimates.
+func (e *Estimator) propagate(d *ir.DAG, outerSizes map[string]int64) error {
+	e.hashes[d] = d.Hash()
+	ops, err := d.TopoSort()
+	if err != nil {
+		return err
+	}
+	for _, op := range ops {
+		switch op.Type {
+		case ir.OpInput:
+			if outerSizes != nil {
+				if s, ok := outerSizes[op.Out]; ok {
+					e.sizes[op] = s
+					continue
+				}
+			}
+			s, ok := e.inputSize(op)
+			if !ok {
+				return fmt.Errorf("core: no size for input %q (path %q)", op.Out, op.Params.Path)
+			}
+			e.sizes[op] = s
+		case ir.OpWhile:
+			if err := e.propagateWhile(d, op); err != nil {
+				return err
+			}
+		default:
+			var in int64
+			for _, p := range op.Inputs {
+				in += e.sizes[p]
+			}
+			if obs, ok := e.History.Lookup(e.hashes[d], op.ID); ok {
+				e.sizes[op] = int64(obs.OutRatio * float64(in))
+			} else {
+				e.sizes[op] = int64(hiBound(op.Type) * float64(in))
+			}
+		}
+	}
+	return nil
+}
+
+func (e *Estimator) propagateWhile(d *ir.DAG, w *ir.Op) error {
+	body := w.Params.Body
+	outer := map[string]int64{}
+	for _, in := range w.Inputs {
+		outer[in.Out] = e.sizes[in]
+	}
+	if err := e.propagate(body, outer); err != nil {
+		return err
+	}
+	iters := w.Params.MaxIter
+	if iters <= 0 || iters > 1<<16 {
+		iters = DefaultIterEstimate
+	}
+	if obs, ok := e.History.Lookup(e.hashes[d], w.ID); ok && obs.Iterations > 0 {
+		iters = obs.Iterations
+	}
+	e.iters[w] = iters
+	res := body.ByOut(w.ResultRelation())
+	if res == nil {
+		return fmt.Errorf("core: WHILE %s has no result relation", w.Out)
+	}
+	e.sizes[w] = e.sizes[res]
+	return nil
+}
+
+func (e *Estimator) inputSize(op *ir.Op) (int64, bool) {
+	if s, ok := e.inputs[op.Params.Path]; ok && op.Params.Path != "" {
+		return s, true
+	}
+	s, ok := e.inputs[op.Out]
+	return s, ok
+}
+
+// Size returns the estimated output volume of an operator.
+func (e *Estimator) Size(op *ir.Op) int64 { return e.sizes[op] }
+
+// Iters returns the estimated iteration count of a WHILE operator.
+func (e *Estimator) Iters(op *ir.Op) int { return e.iters[op] }
+
+// DAGHash returns the cached structural hash used for history keys.
+func (e *Estimator) DAGHash(d *ir.DAG) string {
+	if h, ok := e.hashes[d]; ok {
+		return h
+	}
+	h := d.Hash()
+	e.hashes[d] = h
+	return h
+}
+
+// FragmentCost scores running the fragment as a single job on the engine:
+// the paper's c_s(o_1..o_j). Infeasible combinations cost +Inf.
+func (e *Estimator) FragmentCost(f *ir.Fragment, eng *engines.Engine) cluster.Seconds {
+	if err := eng.ValidFragment(f); err != nil {
+		return Infeasible
+	}
+	if w := f.While(); w != nil {
+		return e.whileCost(w, eng)
+	}
+	v := engines.Volumes{}
+	for _, in := range f.ExtIn {
+		v.Pull += e.sizes[in]
+	}
+	for _, out := range f.ExtOut {
+		v.Push += e.sizes[out]
+	}
+	e.addOpVolumes(&v, f.ComputeOps(), eng, 1)
+	return eng.EstimateCost(e.Cluster, v)
+}
+
+// addOpVolumes folds the estimated per-operator volumes of ops into v,
+// multiplying by iters (WHILE bodies).
+func (e *Estimator) addOpVolumes(v *engines.Volumes, ops []*ir.Op, eng *engines.Engine, iters int64) {
+	shuf := eng.ShuffleSurcharge()
+	blowup := eng.CrossBlowup()
+	for _, op := range ops {
+		if op.Type == ir.OpInput {
+			continue
+		}
+		var in int64
+		for _, p := range op.Inputs {
+			in += e.sizes[p]
+		}
+		out := e.sizes[op]
+		b := (in + out) * iters
+		if ir.IsShuffleOp(op.Type) {
+			b = int64(float64(b) * shuf)
+			v.Shuffle += in * iters
+		}
+		v.Proc += b
+		if op.Type == ir.OpAgg {
+			v.AggProc += b
+		}
+		v.Gen += out * iters
+		peak := out
+		if op.Type == ir.OpCrossJoin {
+			peak = int64(float64(peak) * blowup)
+		}
+		if peak > v.Peak {
+			v.Peak = peak
+		}
+	}
+}
+
+// whileCost scores an iterative fragment. Native-iteration engines run the
+// loop in one job (inputs pulled once, the body processed per iteration);
+// other engines re-submit the body's jobs every iteration, paying job
+// overheads and DFS materialization each time — which is exactly why
+// MapReduce-class back-ends lose badly on iterative workflows (§2.2, §6.2).
+func (e *Estimator) whileCost(w *ir.Op, eng *engines.Engine) cluster.Seconds {
+	iters := e.iters[w]
+	if iters == 0 {
+		iters = DefaultIterEstimate
+	}
+	body := w.Params.Body
+	graph := ir.DetectGraphIdiom(w) != nil
+	if eng.Profile().NativeIteration {
+		v := engines.Volumes{Graph: graph, Push: e.sizes[w]}
+		for _, in := range w.Inputs {
+			v.Pull += e.sizes[in]
+		}
+		e.addOpVolumes(&v, body.Ops, eng, int64(iters))
+		return eng.EstimateCost(e.Cluster, v)
+	}
+	// Driver-looped: partition the body for this engine and pay the whole
+	// per-iteration pipeline every round.
+	bodyPart, err := PartitionDynamic(body, e, []*engines.Engine{eng})
+	if err != nil || bodyPart.Cost == Infeasible {
+		return Infeasible
+	}
+	return cluster.Seconds(float64(bodyPart.Cost) * float64(iters))
+}
+
+// buildReach computes descendant sets for the top-level ops.
+func (e *Estimator) buildReach(d *ir.DAG) {
+	ops, err := d.TopoSort()
+	if err != nil {
+		return
+	}
+	cons := d.Consumers()
+	// Walk in reverse topological order so consumers' sets are complete.
+	for i := len(ops) - 1; i >= 0; i-- {
+		op := ops[i]
+		set := map[*ir.Op]bool{}
+		for _, c := range cons[op] {
+			set[c] = true
+			for k := range e.reach[c] {
+				set[k] = true
+			}
+		}
+		e.reach[op] = set
+	}
+}
+
+// Reaches reports whether to is a transitive consumer of from.
+func (e *Estimator) Reaches(from, to *ir.Op) bool {
+	return e.reach[from][to]
+}

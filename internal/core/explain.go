@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// Explain renders a partitioning with the estimator's reasoning: per job,
+// the chosen engine, the estimated phase volumes (pull/process/shuffle/
+// push), whether a recorded runtime short-circuited the estimate, and the
+// per-engine costs that were compared. It is the "why did Musketeer pick
+// this?" view exposed by `cmd/musketeer -explain`.
+func Explain(part *Partitioning, est *Estimator, candidates []*engines.Engine) string {
+	var b strings.Builder
+	algo := "dynamic heuristic"
+	if part.Exhaustive {
+		algo = "exhaustive search"
+	}
+	fmt.Fprintf(&b, "partitioning: %d job(s), estimated total %v (%s)\n", len(part.Jobs), part.Cost, algo)
+	for i, job := range part.Jobs {
+		fmt.Fprintf(&b, "\njob %d: %s\n", i+1, job.Frag)
+		v := explainVolumes(est, job.Frag, job.Engine)
+		fmt.Fprintf(&b, "  volumes: pull=%s proc=%s shuffle=%s push=%s\n",
+			mbStr(v.Pull), mbStr(v.Proc), mbStr(v.Shuffle), mbStr(v.Push))
+		if w := job.Frag.While(); w != nil {
+			fmt.Fprintf(&b, "  iterative: ~%d iteration(s)", est.Iters(w))
+			if ir.DetectGraphIdiom(w) != nil {
+				b.WriteString(", graph idiom detected (vertex-centric back-ends eligible)")
+			}
+			b.WriteByte('\n')
+		}
+		if job.Frag.DAG() != nil {
+			if s, ok := est.History.LookupRuntime(est.DAGHash(job.Frag.DAG()), FragmentKey(job.Frag), job.Engine.Name()); ok {
+				fmt.Fprintf(&b, "  recorded runtime: %.1fs (from a previous run of this job)\n", s)
+			}
+		}
+		fmt.Fprintf(&b, "  engine costs:")
+		for _, eng := range candidates {
+			c := est.FragmentCost(job.Frag, eng)
+			cell := fmt.Sprintf(" %s=%v", eng.Name(), c)
+			if c == Infeasible {
+				cell = fmt.Sprintf(" %s=infeasible", eng.Name())
+			}
+			if eng.Name() == job.Engine.Name() {
+				cell += "*"
+			}
+			b.WriteString(cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// explainVolumes recomputes the estimated volume breakdown of a fragment on
+// its chosen engine (the quantities FragmentCost feeds the cost model).
+func explainVolumes(est *Estimator, f *ir.Fragment, eng *engines.Engine) engines.Volumes {
+	v := engines.Volumes{}
+	for _, in := range f.ExtIn {
+		v.Pull += est.Size(in)
+	}
+	for _, out := range f.ExtOut {
+		v.Push += est.Size(out)
+	}
+	if w := f.While(); w != nil && w.Params.Body != nil {
+		iters := est.Iters(w)
+		if iters == 0 {
+			iters = DefaultIterEstimate
+		}
+		est.addOpVolumes(&v, w.Params.Body.Ops, eng, int64(iters))
+		return v
+	}
+	est.addOpVolumes(&v, f.ComputeOps(), eng, 1)
+	return v
+}
+
+func mbStr(bytes int64) string {
+	switch {
+	case bytes >= 1e9:
+		return fmt.Sprintf("%.1fGB", float64(bytes)/1e9)
+	case bytes >= 1e6:
+		return fmt.Sprintf("%.1fMB", float64(bytes)/1e6)
+	default:
+		return fmt.Sprintf("%dB", bytes)
+	}
+}

@@ -1,0 +1,147 @@
+// Package core implements Musketeer's contribution: the layer that turns a
+// front-end-produced IR DAG into executable back-end jobs. It contains the
+// IR optimizer (§4.2), the DAG partitioner with its exhaustive and
+// dynamic-programming algorithms (§5.1), the cost function with calibrated
+// rates, conservative data-volume bounds and workflow history (§5.2), the
+// automatic back-end mapper plus the decision-tree baseline it is evaluated
+// against (§6.7), and the workflow runner that executes partitionings —
+// including driving WHILE loops iteration by iteration on back-ends without
+// native iteration support.
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Observation is what one execution revealed about an operator.
+type Observation struct {
+	// OutRatio is observed output bytes divided by observed input bytes;
+	// ratios (not absolute sizes) transfer across input scales, so history
+	// collected at one scale factor still refines bounds at another.
+	OutRatio float64 `json:"out_ratio"`
+	// Iterations records how many times a WHILE operator looped.
+	Iterations int `json:"iterations,omitempty"`
+}
+
+// History is the workflow-history store (paper §5.2): per-workflow,
+// per-operator observations collected from prior runs — output-size ratios,
+// WHILE iteration counts, and per-job runtimes ("Musketeer collects
+// information about each job it runs (e.g., runtime and input/output
+// sizes)"). Keys are the DAG's structural hash, so re-running the same
+// workflow (even at a different input size) reuses its history. Safe for
+// concurrent use.
+type History struct {
+	mu sync.RWMutex
+	m  map[string]map[int]Observation
+	// runtimes records measured job makespans keyed by workflow hash,
+	// fragment identity and engine. Recorded runtimes are surfaced by
+	// Explain and available to operators; they deliberately do NOT
+	// short-circuit cost estimates — replacing estimates with measurements
+	// for previously-run fragments (but not their unexplored alternatives)
+	// locks the mapper into its first choice, measurably degrading the
+	// Fig 14 partial-history results. Bound refinement via size ratios is
+	// the mechanism that transfers fairly across candidate mappings.
+	runtimes map[string]float64
+}
+
+// NewHistory returns an empty store.
+func NewHistory() *History {
+	return &History{m: map[string]map[int]Observation{}, runtimes: map[string]float64{}}
+}
+
+// runtimeKey identifies a (workflow, fragment, engine) execution. The
+// fragment identity is the sorted operator-ID list, so the same job split
+// matches across rebuilds of the workflow.
+func runtimeKey(dagHash, fragKey, engine string) string {
+	return dagHash + "|" + fragKey + "|" + engine
+}
+
+// ObserveRuntime records a job's measured makespan.
+func (h *History) ObserveRuntime(dagHash, fragKey, engine string, seconds float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.runtimes == nil {
+		h.runtimes = map[string]float64{}
+	}
+	h.runtimes[runtimeKey(dagHash, fragKey, engine)] = seconds
+}
+
+// LookupRuntime returns the recorded makespan of a (workflow, fragment,
+// engine) combination.
+func (h *History) LookupRuntime(dagHash, fragKey, engine string) (float64, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.runtimes[runtimeKey(dagHash, fragKey, engine)]
+	return s, ok
+}
+
+// Observe records what an execution saw for one operator.
+func (h *History) Observe(dagHash string, opID int, obs Observation) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	byOp, ok := h.m[dagHash]
+	if !ok {
+		byOp = map[int]Observation{}
+		h.m[dagHash] = byOp
+	}
+	byOp[opID] = obs
+}
+
+// Lookup returns the stored observation for an operator.
+func (h *History) Lookup(dagHash string, opID int) (Observation, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	obs, ok := h.m[dagHash][opID]
+	return obs, ok
+}
+
+// Coverage returns how many operators of the workflow have observations.
+func (h *History) Coverage(dagHash string) int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.m[dagHash])
+}
+
+// persistedHistory is the JSON layout of a saved store.
+type persistedHistory struct {
+	Ops      map[string]map[int]Observation `json:"ops"`
+	Runtimes map[string]float64             `json:"runtimes,omitempty"`
+}
+
+// Save writes the store as JSON to path.
+func (h *History) Save(path string) error {
+	h.mu.RLock()
+	data, err := json.MarshalIndent(persistedHistory{Ops: h.m, Runtimes: h.runtimes}, "", "  ")
+	h.mu.RUnlock()
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadHistory reads a store saved by Save; a missing file yields an empty
+// store so first runs need no setup.
+func LoadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewHistory(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var p persistedHistory
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("history: %s: %w", path, err)
+	}
+	h := NewHistory()
+	if p.Ops != nil {
+		h.m = p.Ops
+	}
+	if p.Runtimes != nil {
+		h.runtimes = p.Runtimes
+	}
+	return h, nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/dfs"
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// AutoMap picks back-end execution engines automatically (paper §5.2): it
+// runs the DAG partitioning algorithm with every available engine in the
+// candidate set and returns the cheapest partitioning, which may combine
+// engines across jobs (§6.3).
+func AutoMap(dag *ir.DAG, est *Estimator, engs []*engines.Engine) (*Partitioning, error) {
+	return Partition(dag, est, engs)
+}
+
+// MapTo partitions the workflow for one explicitly chosen engine
+// (the "user explicitly targets a back-end" path of §4.3).
+func MapTo(dag *ir.DAG, est *Estimator, eng *engines.Engine) (*Partitioning, error) {
+	return Partition(dag, est, []*engines.Engine{eng})
+}
+
+// PerOperatorPartitioning builds the merging-disabled partitioning: every
+// operator becomes its own job on the given engine. This is both the
+// Fig 12 ablation baseline and the "operator-by-operator profiling" run
+// that seeds full workflow history (§6.7).
+func PerOperatorPartitioning(dag *ir.DAG, est *Estimator, eng *engines.Engine) (*Partitioning, error) {
+	var jobs []Assignment
+	var total cluster.Seconds
+	for _, op := range computeOps(dag) {
+		frag, err := ir.NewFragment(dag, []*ir.Op{op})
+		if err != nil {
+			return nil, err
+		}
+		c := est.FragmentCost(frag, eng)
+		if c == Infeasible {
+			return nil, fmt.Errorf("core: %s cannot run %s alone", eng.Name(), op)
+		}
+		jobs = append(jobs, Assignment{Frag: frag, Engine: eng, Cost: c})
+		total += c
+	}
+	return &Partitioning{Jobs: jobs, Cost: total}, nil
+}
+
+// DecisionTree is the baseline mapper the paper compares against (§6.7):
+// a hand-built tree over back-end features and workload characteristics.
+// Its weaknesses are the point — fixed thresholds, one engine for the whole
+// workflow, and no awareness of operator merging or shared scans.
+func DecisionTree(dag *ir.DAG, est *Estimator, reg map[string]*engines.Engine) (*engines.Engine, error) {
+	var inputBytes int64
+	for _, op := range dag.Ops {
+		if op.Type == ir.OpInput {
+			inputBytes += est.Size(op)
+		}
+	}
+	iterative := false
+	for _, op := range dag.Ops {
+		if op.Type == ir.OpWhile {
+			iterative = true
+		}
+	}
+	const gb = 1e9
+	pick := func(name string) (*engines.Engine, error) {
+		e, ok := reg[name]
+		if !ok {
+			return nil, fmt.Errorf("core: decision tree wants %q, not registered", name)
+		}
+		return e, nil
+	}
+	switch {
+	case dag.IsGraphWorkflow() && float64(inputBytes) < 2*gb:
+		return pick("graphchi")
+	case dag.IsGraphWorkflow():
+		return pick("powergraph")
+	case float64(inputBytes) < 0.5*gb:
+		return pick("metis")
+	case iterative:
+		return pick("spark")
+	default:
+		return pick("hadoop")
+	}
+}
+
+// DecisionTreePartition maps the whole workflow onto the decision tree's
+// single choice. Graph-only engines can only run the idiom itself, so
+// surrounding relational operators fall back to Hadoop (the tree's default
+// general-purpose system), mimicking a user who follows the tree's advice.
+func DecisionTreePartition(dag *ir.DAG, est *Estimator, reg map[string]*engines.Engine) (*Partitioning, error) {
+	choice, err := DecisionTree(dag, est, reg)
+	if err != nil {
+		return nil, err
+	}
+	engs := []*engines.Engine{choice}
+	if choice.Paradigm() == engines.ParadigmVertexCentric {
+		if h, ok := reg["hadoop"]; ok {
+			engs = append(engs, h)
+		}
+	}
+	return PartitionDynamic(dag, est, engs)
+}
+
+// NewEstimatorFor is a convenience wrapper used by callers that already
+// have a run context.
+func NewEstimatorFor(dag *ir.DAG, fs *dfs.DFS, c *cluster.Cluster, h *History) (*Estimator, error) {
+	return NewEstimator(dag, fs, c, h)
+}

@@ -1,0 +1,414 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// Assignment maps one fragment (≡ back-end job) to the engine chosen for
+// it, with its estimated cost.
+type Assignment struct {
+	Frag   *ir.Fragment
+	Engine *engines.Engine
+	Cost   cluster.Seconds
+}
+
+// Partitioning is a complete decomposition of a workflow into jobs.
+type Partitioning struct {
+	Jobs []Assignment
+	Cost cluster.Seconds
+	// Exhaustive records which algorithm produced it.
+	Exhaustive bool
+}
+
+// String renders the partitioning one job per line.
+func (p *Partitioning) String() string {
+	var b strings.Builder
+	for _, j := range p.Jobs {
+		fmt.Fprintf(&b, "%-12s %v  %s\n", j.Engine.Name(), j.Cost, j.Frag)
+	}
+	fmt.Fprintf(&b, "total: %v\n", p.Cost)
+	return b.String()
+}
+
+// Engines lists the distinct engines used, sorted.
+func (p *Partitioning) Engines() []string {
+	set := map[string]bool{}
+	for _, j := range p.Jobs {
+		set[j.Engine.Name()] = true
+	}
+	var names []string
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ExhaustiveLimit is the operator count up to which Partition uses the
+// exhaustive search (paper §6.6: under a second up to 13 operators,
+// exponential beyond).
+const ExhaustiveLimit = 13
+
+// Partition decomposes the DAG into engine-assigned jobs, choosing the
+// exhaustive search for small workflows and the dynamic-programming
+// heuristic for large ones (paper §5.1).
+func Partition(dag *ir.DAG, est *Estimator, engs []*engines.Engine) (*Partitioning, error) {
+	if len(computeOps(dag)) <= ExhaustiveLimit {
+		return PartitionExhaustive(dag, est, engs, 0)
+	}
+	return PartitionDynamic(dag, est, engs)
+}
+
+func computeOps(dag *ir.DAG) []*ir.Op {
+	order, err := dag.TopoSort()
+	if err != nil {
+		order = dag.Ops
+	}
+	var ops []*ir.Op
+	for _, op := range order {
+		if op.Type != ir.OpInput {
+			ops = append(ops, op)
+		}
+	}
+	return ops
+}
+
+// bestEngine returns the cheapest engine for a fragment.
+func bestEngine(est *Estimator, f *ir.Fragment, engs []*engines.Engine) (*engines.Engine, cluster.Seconds) {
+	var best *engines.Engine
+	bestCost := Infeasible
+	for _, e := range engs {
+		if c := est.FragmentCost(f, e); c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	return best, bestCost
+}
+
+// PartitionDynamic implements the dynamic-programming heuristic (§5.1.2):
+// it topologically sorts the DAG into a single linear ordering, then finds
+// the minimum-cost segmentation of that ordering, where each segment's cost
+// is the cheapest engine's cost for running the segment as one job:
+//
+//	C[n] = min over k < n of C[k] + min_s c_s(o_{k+1} … o_n)
+//
+// Runtime is polynomial in the number of operators; the price is that only
+// partitions respecting the linear order are explored, so merge
+// opportunities broken by the ordering are missed (paper Fig 16).
+func PartitionDynamic(dag *ir.DAG, est *Estimator, engs []*engines.Engine) (*Partitioning, error) {
+	ops := computeOps(dag)
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("core: nothing to partition")
+	}
+	return dynamicOverOrder(dag, est, engs, ops)
+}
+
+// PartitionDynamicMulti runs the dynamic heuristic over several distinct
+// topological orderings and keeps the cheapest segmentation. This is the
+// paper's §8 mitigation for the heuristic's Fig 16 limitation: a single
+// linear order can separate operators that would merge profitably; trying a
+// handful of randomized orders recovers most of those opportunities while
+// staying polynomial. Orders are derived deterministically from the DAG, so
+// results are reproducible.
+func PartitionDynamicMulti(dag *ir.DAG, est *Estimator, engs []*engines.Engine, orders int) (*Partitioning, error) {
+	if orders < 1 {
+		orders = 1
+	}
+	best, err := PartitionDynamic(dag, est, engs)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(42))
+	for i := 1; i < orders; i++ {
+		ops, err := randomTopoOrder(dag, r)
+		if err != nil {
+			return nil, err
+		}
+		cand, err := dynamicOverOrder(dag, est, engs, ops)
+		if err != nil {
+			continue // this order admits no feasible segmentation
+		}
+		if cand.Cost < best.Cost {
+			best = cand
+		}
+	}
+	return best, nil
+}
+
+// randomTopoOrder produces a topological order of the DAG's compute
+// operators using Kahn's algorithm with randomized tie-breaking.
+func randomTopoOrder(dag *ir.DAG, r *rand.Rand) ([]*ir.Op, error) {
+	indeg := map[*ir.Op]int{}
+	for _, op := range dag.Ops {
+		indeg[op] += 0
+		for range op.Inputs {
+			indeg[op]++
+		}
+	}
+	cons := dag.Consumers()
+	var ready []*ir.Op
+	for _, op := range dag.Ops {
+		if indeg[op] == 0 {
+			ready = append(ready, op)
+		}
+	}
+	var order []*ir.Op
+	for len(ready) > 0 {
+		i := r.Intn(len(ready))
+		op := ready[i]
+		ready = append(ready[:i], ready[i+1:]...)
+		if op.Type != ir.OpInput {
+			order = append(order, op)
+		}
+		for _, c := range cons[op] {
+			indeg[c]--
+			if indeg[c] == 0 {
+				ready = append(ready, c)
+			}
+		}
+	}
+	if len(order) != len(computeOps(dag)) {
+		return nil, fmt.Errorf("core: cycle during randomized topological sort")
+	}
+	return order, nil
+}
+
+func dynamicOverOrder(dag *ir.DAG, est *Estimator, engs []*engines.Engine, ops []*ir.Op) (*Partitioning, error) {
+	n := len(ops)
+	type cell struct {
+		cost cluster.Seconds
+		prev int
+		eng  *engines.Engine
+	}
+	best := make([]cell, n+1)
+	best[0] = cell{cost: 0, prev: -1}
+	for i := 1; i <= n; i++ {
+		best[i] = cell{cost: Infeasible, prev: -1}
+		for k := i - 1; k >= 0; k-- {
+			if best[k].cost == Infeasible {
+				continue
+			}
+			frag, err := ir.NewFragment(dag, ops[k:i])
+			if err != nil {
+				return nil, err
+			}
+			eng, c := bestEngine(est, frag, engs)
+			if eng == nil {
+				continue
+			}
+			if total := best[k].cost + c; total < best[i].cost {
+				best[i] = cell{cost: total, prev: k, eng: eng}
+			}
+		}
+	}
+	if best[n].cost == Infeasible {
+		return nil, fmt.Errorf("core: no feasible partitioning for engines %v", engineNames(engs))
+	}
+	// Reconstruct segments back to front.
+	var jobs []Assignment
+	for i := n; i > 0; {
+		k := best[i].prev
+		frag, err := ir.NewFragment(dag, ops[k:i])
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, Assignment{Frag: frag, Engine: best[i].eng, Cost: best[i].cost - best[k].cost})
+		i = k
+	}
+	// Reverse into execution order.
+	for l, r := 0, len(jobs)-1; l < r; l, r = l+1, r-1 {
+		jobs[l], jobs[r] = jobs[r], jobs[l]
+	}
+	return &Partitioning{Jobs: jobs, Cost: best[n].cost}, nil
+}
+
+func engineNames(engs []*engines.Engine) []string {
+	names := make([]string, len(engs))
+	for i, e := range engs {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// PartitionExhaustive explores every valid partition of the DAG (§5.1.1):
+// operators are placed, in topological order, either into a new job or into
+// any existing job they can legally join; each complete partition is scored
+// with the cheapest engine per job. Branch-and-bound pruning cuts partial
+// partitions that already cost more than the best complete one. The search
+// is exponential in the number of operators; a non-zero budget makes it
+// return the best partition found when time runs out.
+func PartitionExhaustive(dag *ir.DAG, est *Estimator, engs []*engines.Engine, budget time.Duration) (*Partitioning, error) {
+	ops := computeOps(dag)
+	if len(ops) == 0 {
+		return nil, fmt.Errorf("core: nothing to partition")
+	}
+	deadline := time.Time{}
+	if budget > 0 {
+		deadline = time.Now().Add(budget)
+	}
+	s := &exhaustiveState{
+		dag: dag, est: est, engs: engs, ops: ops,
+		fragCost: map[string]fragChoice{},
+		deadline: deadline,
+		bestCost: Infeasible,
+	}
+	s.search(0, nil, 0)
+	if s.bestCost == Infeasible {
+		return nil, fmt.Errorf("core: no feasible partitioning for engines %v", engineNames(engs))
+	}
+	var jobs []Assignment
+	for _, group := range s.bestGroups {
+		frag, err := ir.NewFragment(dag, group)
+		if err != nil {
+			return nil, err
+		}
+		eng, c := bestEngine(est, frag, engs)
+		jobs = append(jobs, Assignment{Frag: frag, Engine: eng, Cost: c})
+	}
+	sortJobsTopologically(dag, jobs)
+	return &Partitioning{Jobs: jobs, Cost: s.bestCost, Exhaustive: true}, nil
+}
+
+type fragChoice struct {
+	cost cluster.Seconds
+}
+
+type exhaustiveState struct {
+	dag      *ir.DAG
+	est      *Estimator
+	engs     []*engines.Engine
+	ops      []*ir.Op
+	fragCost map[string]fragChoice
+	deadline time.Time
+	expired  bool
+
+	bestCost   cluster.Seconds
+	bestGroups [][]*ir.Op
+}
+
+func (s *exhaustiveState) groupCost(group []*ir.Op) cluster.Seconds {
+	key := groupKey(group)
+	if c, ok := s.fragCost[key]; ok {
+		return c.cost
+	}
+	frag, err := ir.NewFragment(s.dag, group)
+	if err != nil {
+		s.fragCost[key] = fragChoice{cost: Infeasible}
+		return Infeasible
+	}
+	_, c := bestEngine(s.est, frag, s.engs)
+	s.fragCost[key] = fragChoice{cost: c}
+	return c
+}
+
+// FragmentKey identifies a fragment by its sorted operator IDs; stable
+// across rebuilds of the same workflow (IDs are construction-order
+// deterministic).
+func FragmentKey(f *ir.Fragment) string {
+	return groupKey(f.Ops)
+}
+
+func groupKey(group []*ir.Op) string {
+	ids := make([]int, len(group))
+	for i, op := range group {
+		ids[i] = op.ID
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	for _, id := range ids {
+		fmt.Fprintf(&b, "%d,", id)
+	}
+	return b.String()
+}
+
+// search places ops[i] into every legal position. groups holds the current
+// partial partition; partial is its cost so far (sum of current group
+// costs). Group costs are recomputed when a group changes.
+func (s *exhaustiveState) search(i int, groups [][]*ir.Op, partial cluster.Seconds) {
+	if s.expired {
+		return
+	}
+	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
+		s.expired = true
+		return
+	}
+	if partial >= s.bestCost {
+		return // branch and bound
+	}
+	if i == len(s.ops) {
+		s.bestCost = partial
+		s.bestGroups = make([][]*ir.Op, len(groups))
+		for gi, g := range groups {
+			s.bestGroups[gi] = append([]*ir.Op(nil), g...)
+		}
+		return
+	}
+	op := s.ops[i]
+	// Option A: start a new job.
+	solo := s.groupCost([]*ir.Op{op})
+	if solo < Infeasible {
+		groups = append(groups, []*ir.Op{op})
+		s.search(i+1, groups, partial+solo)
+		groups = groups[:len(groups)-1]
+	}
+	// Option B: join an existing job, if no inter-job cycle arises and the
+	// merged job remains feasible for some engine.
+	for gi := range groups {
+		if s.mergeCreatesCycle(groups, gi, op) {
+			continue
+		}
+		old := s.groupCost(groups[gi])
+		groups[gi] = append(groups[gi], op)
+		merged := s.groupCost(groups[gi])
+		if merged < Infeasible {
+			s.search(i+1, groups, partial-old+merged)
+		}
+		groups[gi] = groups[gi][:len(groups[gi])-1]
+	}
+}
+
+// mergeCreatesCycle reports whether adding op to groups[gi] would make the
+// job quotient graph cyclic: some operator outside the group lies on a path
+// from a group member to op.
+func (s *exhaustiveState) mergeCreatesCycle(groups [][]*ir.Op, gi int, op *ir.Op) bool {
+	member := map[*ir.Op]bool{}
+	for _, m := range groups[gi] {
+		member[m] = true
+	}
+	for _, m := range groups[gi] {
+		// For every descendant v of m outside the group, if v reaches op,
+		// the merged job would both feed and depend on v's job.
+		for v := range s.est.reach[m] {
+			if member[v] || v == op {
+				continue
+			}
+			if s.est.Reaches(v, op) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sortJobsTopologically orders jobs so producers precede consumers.
+func sortJobsTopologically(dag *ir.DAG, jobs []Assignment) {
+	pos := map[*ir.Op]int{}
+	order, err := dag.TopoSort()
+	if err != nil {
+		return
+	}
+	for i, op := range order {
+		pos[op] = i
+	}
+	sort.SliceStable(jobs, func(a, b int) bool {
+		return pos[jobs[a].Frag.Ops[0]] < pos[jobs[b].Frag.Ops[0]]
+	})
+}

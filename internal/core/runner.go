@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// Runner executes partitionings against a deployment. It drives WHILE
+// loops for engines without native iteration (re-submitting the body's jobs
+// every round, exactly like iterative MapReduce), records workflow history,
+// and accounts the simulated makespan along the job DAG's critical path.
+type Runner struct {
+	Ctx engines.RunContext
+	// History, when non-nil, receives per-job observations (§5.2).
+	History *History
+	// Mode selects code-generation quality for every generated job.
+	Mode engines.PlanMode
+}
+
+// WorkflowResult aggregates one workflow execution.
+type WorkflowResult struct {
+	// Makespan is the simulated end-to-end time: the critical path through
+	// the job DAG (jobs with no data dependency run concurrently).
+	Makespan cluster.Seconds
+	// SumJobTime is the total work across jobs (for resource-efficiency
+	// calculations, Fig 8c).
+	SumJobTime cluster.Seconds
+	// Jobs are the individual executions in completion order.
+	Jobs []*engines.RunResult
+	// OOM reports whether any job exceeded its engine's memory capacity.
+	OOM bool
+}
+
+// Execute runs every job of the partitioning in dependency order.
+// Jobs with no data dependency between them execute concurrently (real
+// goroutines — the DFS and history store are concurrency-safe); the
+// simulated makespan is the critical path either way. Workflow outputs
+// land in the DFS under their relation names.
+func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, error) {
+	dagHash := dag.Hash()
+	n := len(part.Jobs)
+
+	// producers[rel] = index of the job materializing rel.
+	producers := map[string]int{}
+	for i, job := range part.Jobs {
+		for _, out := range job.Frag.ExtOut {
+			producers[out.Out] = i
+		}
+	}
+	deps := make([][]int, n)
+	for i, job := range part.Jobs {
+		seen := map[int]bool{}
+		for _, in := range job.Frag.ExtIn {
+			if p, ok := producers[in.Out]; ok && p != i && !seen[p] {
+				seen[p] = true
+				deps[i] = append(deps[i], p)
+			}
+		}
+	}
+
+	type outcome struct {
+		runs []*engines.RunResult
+		dur  cluster.Seconds
+		err  error
+	}
+	results := make([]outcome, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	for i := range part.Jobs {
+		go func(i int) {
+			defer close(done[i])
+			for _, d := range deps[i] {
+				<-done[d]
+				if results[d].err != nil {
+					results[i].err = fmt.Errorf("core: upstream job failed: %w", results[d].err)
+					return
+				}
+			}
+			job := part.Jobs[i]
+			if w := job.Frag.While(); w != nil && !job.Engine.Profile().NativeIteration {
+				results[i].runs, results[i].dur, results[i].err = r.runWhileDriver(dagHash, w, job.Engine)
+			} else {
+				results[i].runs, results[i].dur, results[i].err = r.runPlain(dagHash, job)
+			}
+		}(i)
+	}
+	for i := range done {
+		<-done[i]
+	}
+
+	res := &WorkflowResult{}
+	finish := make([]cluster.Seconds, n)
+	for i := range part.Jobs {
+		if err := results[i].err; err != nil {
+			return nil, err
+		}
+		var start cluster.Seconds
+		for _, d := range deps[i] {
+			if finish[d] > start {
+				start = finish[d]
+			}
+		}
+		finish[i] = start + results[i].dur
+		if finish[i] > res.Makespan {
+			res.Makespan = finish[i]
+		}
+		if r.History != nil {
+			r.History.ObserveRuntime(dagHash, FragmentKey(part.Jobs[i].Frag),
+				part.Jobs[i].Engine.Name(), float64(results[i].dur))
+		}
+		for _, jr := range results[i].runs {
+			res.Jobs = append(res.Jobs, jr)
+			res.SumJobTime += jr.Makespan
+			if jr.OOM {
+				res.OOM = true
+			}
+		}
+	}
+	return res, nil
+}
+
+// runPlain executes a fragment as a single job.
+func (r *Runner) runPlain(dagHash string, job Assignment) ([]*engines.RunResult, cluster.Seconds, error) {
+	plan, err := job.Engine.Plan(job.Frag, r.Mode)
+	if err != nil {
+		return nil, 0, err
+	}
+	jr, err := engines.Run(r.Ctx, plan)
+	if err != nil {
+		return nil, 0, err
+	}
+	r.observe(dagHash, job.Frag, jr)
+	return []*engines.RunResult{jr}, jr.Makespan, nil
+}
+
+// runWhileDriver expands a WHILE for an engine without native iteration:
+// Musketeer itself drives the loop, submitting the body's jobs each
+// iteration and checking the stop condition from materialized state. Loop
+// state lives in the DFS under temporary paths; job overheads and
+// DFS round-trips are paid every iteration, which is exactly the cost the
+// paper attributes to iterative workflows on MapReduce-class systems.
+func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) ([]*engines.RunResult, cluster.Seconds, error) {
+	body := w.Params.Body
+	est, err := NewEstimator(body, nil, r.Ctx.Cluster, r.History)
+	if err != nil {
+		return nil, 0, err
+	}
+	// Seed body input sizes from the outer relations currently in the DFS.
+	outerPaths := map[string]string{}
+	sizes := map[string]int64{}
+	for _, outerIn := range w.Inputs {
+		path := engines.InputPath(outerIn)
+		st, err := r.Ctx.DFS.Stat(path)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s input %q: %w", w.Out, outerIn.Out, err)
+		}
+		outerPaths[outerIn.Out] = path
+		sizes[outerIn.Out] = st.EffectiveBytes()
+	}
+	if _, err := est.WithInputSizes(sizes); err != nil {
+		return nil, 0, err
+	}
+	// Stage loop state: body inputs read from loop-local paths so carried
+	// updates never clobber source data.
+	savedPaths := map[*ir.Op]string{}
+	for _, bop := range body.Ops {
+		if bop.Type != ir.OpInput {
+			continue
+		}
+		src, ok := outerPaths[bop.Out]
+		if !ok {
+			return nil, 0, fmt.Errorf("core: WHILE %s: body input %q unbound", w.Out, bop.Out)
+		}
+		if err := r.Ctx.DFS.Copy(src, loopPath(w, bop.Out)); err != nil {
+			return nil, 0, err
+		}
+		savedPaths[bop] = bop.Params.Path
+		bop.Params.Path = loopPath(w, bop.Out)
+	}
+	defer func() {
+		// Restore body input paths (the DAG may be reused).
+		for bop, p := range savedPaths {
+			bop.Params.Path = p
+		}
+	}()
+
+	part, err := PartitionDynamic(body, est, []*engines.Engine{eng})
+	if err != nil {
+		return nil, 0, err
+	}
+	// Loop-carried outputs and the stop-condition relation must land in
+	// the DFS every iteration even when they are internal to a body job.
+	needed := map[string]bool{}
+	for _, outName := range w.Params.Carried {
+		needed[outName] = true
+	}
+	if w.Params.CondRel != "" {
+		needed[w.Params.CondRel] = true
+	}
+	for name := range needed {
+		op := body.ByOut(name)
+		if op == nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s: relation %q not in body", w.Out, name)
+		}
+		for _, job := range part.Jobs {
+			if job.Frag.Contains(op) {
+				if err := job.Frag.ForceOutput(op); err != nil {
+					return nil, 0, err
+				}
+			}
+		}
+	}
+	bodyHash := body.Hash()
+
+	maxIter := w.Params.MaxIter
+	if maxIter <= 0 {
+		maxIter = 1 << 16
+	}
+	var all []*engines.RunResult
+	var total cluster.Seconds
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		for _, job := range part.Jobs {
+			plan, err := eng.Plan(job.Frag, r.Mode)
+			if err != nil {
+				return nil, 0, err
+			}
+			jr, err := engines.Run(r.Ctx, plan)
+			if err != nil {
+				return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
+			}
+			r.observe(bodyHash, job.Frag, jr)
+			all = append(all, jr)
+			total += jr.Makespan
+		}
+		// Rebind carried state for the next round.
+		for inName, outName := range w.Params.Carried {
+			if err := r.Ctx.DFS.Copy(outName, loopPath(w, inName)); err != nil {
+				return nil, 0, err
+			}
+		}
+		if w.Params.CondRel != "" {
+			st, err := r.Ctx.DFS.Stat(w.Params.CondRel)
+			if err != nil {
+				return nil, 0, err
+			}
+			if st.Rows == 0 {
+				iters++
+				break
+			}
+		}
+	}
+	if r.History != nil {
+		r.History.Observe(dagHash, w.ID, Observation{OutRatio: 1, Iterations: iters})
+	}
+	// Publish the WHILE's result under its output name.
+	resRel := w.ResultRelation()
+	src := resRel
+	if inName := carriedInputFor(w, resRel); inName != "" {
+		src = loopPath(w, inName)
+	}
+	if err := r.Ctx.DFS.Copy(src, w.Out); err != nil {
+		return nil, 0, err
+	}
+	return all, total, nil
+}
+
+func carriedInputFor(w *ir.Op, resRel string) string {
+	for in, out := range w.Params.Carried {
+		if out == resRel {
+			return in
+		}
+	}
+	return ""
+}
+
+func loopPath(w *ir.Op, name string) string {
+	return fmt.Sprintf("__loop/%s/%s", w.Out, name)
+}
+
+// observe records output ratios for the job's materialized relations.
+func (r *Runner) observe(dagHash string, frag *ir.Fragment, jr *engines.RunResult) {
+	if r.History == nil {
+		return
+	}
+	for _, out := range frag.ExtOut {
+		var in int64
+		for _, p := range out.Inputs {
+			if b, ok := jr.Trace.OutBytes[p.ID]; ok {
+				in += b
+			} else {
+				// External input: approximate with the job's pull volume
+				// share (coarse, like real black-box observation).
+				in += jr.PullBytes
+			}
+		}
+		if in <= 0 {
+			continue
+		}
+		outBytes := jr.Trace.OutBytes[out.ID]
+		r.History.Observe(dagHash, out.ID, Observation{OutRatio: float64(outBytes) / float64(in)})
+	}
+	for _, op := range frag.Ops {
+		if op.Type == ir.OpWhile {
+			if iters, ok := jr.Trace.Iterations[op.ID]; ok {
+				r.History.Observe(dagHash, op.ID, Observation{OutRatio: 1, Iterations: iters})
+			}
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package dfs
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// Config shapes the block layer. The defaults mirror HDFS semantics at
+// test-friendly sizes: files split into fixed-size blocks, each replicated
+// across distinct datanodes and checksummed so corrupt replicas are
+// detected on read and masked by surviving replicas.
+type Config struct {
+	// BlockSize is the split size in bytes (HDFS uses 64–128 MB; the
+	// default here is small so multi-block behaviour shows up in tests).
+	BlockSize int
+	// Replication is the number of replicas per block.
+	Replication int
+	// Nodes is the number of simulated datanodes replicas spread over.
+	Nodes int
+}
+
+// DefaultConfig is used by New.
+func DefaultConfig() Config {
+	return Config{BlockSize: 256 << 10, Replication: 3, Nodes: 8}
+}
+
+func (c Config) normalized() Config {
+	if c.BlockSize <= 0 {
+		c.BlockSize = DefaultConfig().BlockSize
+	}
+	if c.Replication <= 0 {
+		c.Replication = DefaultConfig().Replication
+	}
+	if c.Nodes <= 0 {
+		c.Nodes = DefaultConfig().Nodes
+	}
+	if c.Replication > c.Nodes {
+		c.Replication = c.Nodes
+	}
+	return c
+}
+
+// replica is one stored copy of a block on one datanode.
+type replica struct {
+	node int
+	data []byte
+	sum  uint32
+}
+
+// block is one file split with its replica set.
+type block struct {
+	replicas []replica
+}
+
+// split chops data into replicated, checksummed blocks. Placement is
+// round-robin over datanodes, offset per block so replicas of consecutive
+// blocks land on different nodes (as HDFS's placement spreads load).
+func (d *DFS) split(data []byte) []block {
+	cfg := d.cfg
+	var blocks []block
+	for off, bi := 0, 0; off < len(data) || (off == 0 && len(data) == 0); bi++ {
+		end := off + cfg.BlockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunk := data[off:end]
+		b := block{}
+		for r := 0; r < cfg.Replication; r++ {
+			node := (bi + r) % cfg.Nodes
+			// One replica copy per node so corruption of one replica
+			// never bleeds into another.
+			cp := append([]byte(nil), chunk...)
+			b.replicas = append(b.replicas, replica{node: node, data: cp, sum: crc32.ChecksumIEEE(cp)})
+		}
+		blocks = append(blocks, b)
+		off = end
+		if len(data) == 0 {
+			break
+		}
+	}
+	return blocks
+}
+
+// assemble reconstructs the file from the first healthy replica of every
+// block, skipping replicas on down nodes and replicas whose checksum no
+// longer matches (silent corruption). An unrecoverable block is an error.
+func (d *DFS) assemble(path string, blocks []block) ([]byte, error) {
+	var out []byte
+	for bi, b := range blocks {
+		ok := false
+		for _, rep := range b.replicas {
+			if d.down[rep.node] {
+				continue
+			}
+			if crc32.ChecksumIEEE(rep.data) != rep.sum {
+				continue // corrupt replica: masked, next one tried
+			}
+			out = append(out, rep.data...)
+			ok = true
+			break
+		}
+		if !ok {
+			return nil, fmt.Errorf("dfs: %s: block %d unrecoverable (all replicas down or corrupt)", path, bi)
+		}
+	}
+	return out, nil
+}
+
+// SetNodeDown marks a datanode failed (true) or recovered (false); reads
+// route around failed nodes using surviving replicas.
+func (d *DFS) SetNodeDown(node int, isDown bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down == nil {
+		d.down = map[int]bool{}
+	}
+	d.down[node] = isDown
+}
+
+// CorruptReplica flips bytes of one replica of one block (failure
+// injection for tests); the checksum then fails on read and the replica is
+// masked.
+func (d *DFS) CorruptReplica(path string, blockIdx, replicaIdx int) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[path]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	if blockIdx < 0 || blockIdx >= len(f.blocks) {
+		return fmt.Errorf("dfs: %s: no block %d", path, blockIdx)
+	}
+	b := &f.blocks[blockIdx]
+	if replicaIdx < 0 || replicaIdx >= len(b.replicas) {
+		return fmt.Errorf("dfs: %s: block %d has no replica %d", path, blockIdx, replicaIdx)
+	}
+	data := b.replicas[replicaIdx].data
+	for i := range data {
+		data[i] ^= 0xff
+	}
+	return nil
+}
+
+// BlockCount returns how many blocks a file occupies.
+func (d *DFS) BlockCount(path string) (int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return 0, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return len(f.blocks), nil
+}
+
+// BlockLocations returns the datanodes holding each block's replicas.
+func (d *DFS) BlockLocations(path string) ([][]int, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	locs := make([][]int, len(f.blocks))
+	for i, b := range f.blocks {
+		for _, rep := range b.replicas {
+			locs[i] = append(locs[i], rep.node)
+		}
+	}
+	return locs, nil
+}

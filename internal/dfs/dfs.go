@@ -1,0 +1,210 @@
+// Package dfs implements the shared storage layer that stands in for HDFS.
+//
+// Every Musketeer workflow (like the paper's) reads its inputs from the
+// shared filesystem and writes its final outputs back; restricted back-ends
+// such as Hadoop MapReduce also materialize intermediates here between jobs.
+// Files store real TSV-encoded relation bytes — the encode/decode path is
+// exercised on every job boundary — plus the logical size used by the cost
+// model, and the filesystem keeps byte counters so tests can assert how much
+// (simulated) I/O a plan performed.
+package dfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"musketeer/internal/relation"
+)
+
+// Stat describes one stored file.
+type Stat struct {
+	Path          string
+	PhysicalBytes int64
+	LogicalBytes  int64
+	Rows          int
+}
+
+// EffectiveBytes returns the logical size when set, else the physical size.
+func (s Stat) EffectiveBytes() int64 {
+	if s.LogicalBytes > 0 {
+		return s.LogicalBytes
+	}
+	return s.PhysicalBytes
+}
+
+// DFS is an in-memory distributed-filesystem simulation. It is safe for
+// concurrent use; engines running parallel tasks read blocks concurrently.
+type DFS struct {
+	mu    sync.RWMutex
+	files map[string]*file
+	cfg   Config
+	// down marks failed datanodes; reads route around them.
+	down map[int]bool
+
+	// Counters accumulate effective (logical) bytes moved, mirroring the
+	// PULL/PUSH accounting of the paper's cost model.
+	bytesRead    int64
+	bytesWritten int64
+}
+
+type file struct {
+	blocks  []block
+	size    int64 // encoded byte length
+	logical int64
+	rows    int
+}
+
+// New returns an empty filesystem with the default block configuration.
+func New() *DFS {
+	return NewWithConfig(DefaultConfig())
+}
+
+// NewWithConfig returns an empty filesystem with explicit block size,
+// replication factor and datanode count.
+func NewWithConfig(cfg Config) *DFS {
+	return &DFS{files: make(map[string]*file), cfg: cfg.normalized(), down: map[int]bool{}}
+}
+
+// WriteRelation encodes rel and stores it at path, replacing any previous
+// file. The relation's LogicalBytes travels with the file.
+func (d *DFS) WriteRelation(path string, rel *relation.Relation) error {
+	if path == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	data := rel.EncodeBytes()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.files[path] = &file{
+		blocks:  d.split(data),
+		size:    int64(len(data)),
+		logical: rel.LogicalBytes,
+		rows:    rel.NumRows(),
+	}
+	eff := rel.LogicalBytes
+	if eff <= 0 {
+		eff = int64(len(data))
+	}
+	d.bytesWritten += eff
+	return nil
+}
+
+// ReadRelation reassembles the file at path from healthy block replicas
+// (verifying checksums, skipping failed datanodes) and decodes it into a
+// relation named after the path.
+func (d *DFS) ReadRelation(path string) (*relation.Relation, error) {
+	d.mu.Lock()
+	f, ok := d.files[path]
+	var data []byte
+	var err error
+	if ok {
+		eff := f.logical
+		if eff <= 0 {
+			eff = f.size
+		}
+		d.bytesRead += eff
+		data, err = d.assemble(path, f.blocks)
+	}
+	d.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("dfs: no such file %q", path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	rel, err := relation.DecodeBytes(path, data)
+	if err != nil {
+		return nil, fmt.Errorf("dfs: decode %q: %w", path, err)
+	}
+	return rel, nil
+}
+
+// Stat returns metadata for path.
+func (d *DFS) Stat(path string) (Stat, error) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	f, ok := d.files[path]
+	if !ok {
+		return Stat{}, fmt.Errorf("dfs: no such file %q", path)
+	}
+	return Stat{Path: path, PhysicalBytes: f.size, LogicalBytes: f.logical, Rows: f.rows}, nil
+}
+
+// Exists reports whether path is stored.
+func (d *DFS) Exists(path string) bool {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	_, ok := d.files[path]
+	return ok
+}
+
+// Delete removes path; deleting a missing file is an error so job cleanup
+// bugs surface in tests.
+func (d *DFS) Delete(path string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.files[path]; !ok {
+		return fmt.Errorf("dfs: no such file %q", path)
+	}
+	delete(d.files, path)
+	return nil
+}
+
+// Rename moves a file without any I/O cost (metadata-only, as in HDFS).
+func (d *DFS) Rename(from, to string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[from]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", from)
+	}
+	delete(d.files, from)
+	d.files[to] = f
+	return nil
+}
+
+// Copy duplicates a file's metadata and bytes under a new path without I/O
+// accounting (the loop driver uses it to seed iteration state).
+func (d *DFS) Copy(from, to string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	f, ok := d.files[from]
+	if !ok {
+		return fmt.Errorf("dfs: no such file %q", from)
+	}
+	d.files[to] = &file{blocks: f.blocks, size: f.size, logical: f.logical, rows: f.rows}
+	return nil
+}
+
+// List returns all stored paths in sorted order.
+func (d *DFS) List() []string {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	paths := make([]string, 0, len(d.files))
+	for p := range d.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// BytesRead returns cumulative effective bytes read since creation.
+func (d *DFS) BytesRead() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytesRead
+}
+
+// BytesWritten returns cumulative effective bytes written since creation.
+func (d *DFS) BytesWritten() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.bytesWritten
+}
+
+// ResetCounters zeroes the I/O counters (between benchmark phases).
+func (d *DFS) ResetCounters() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.bytesRead, d.bytesWritten = 0, 0
+}

@@ -1,0 +1,151 @@
+package dfs
+
+import (
+	"sync"
+	"testing"
+
+	"musketeer/internal/relation"
+)
+
+func sample(logical int64) *relation.Relation {
+	r := relation.New("t", relation.NewSchema("id:int", "v:float"))
+	r.MustAppend(relation.Row{relation.Int(1), relation.Float(0.5)})
+	r.MustAppend(relation.Row{relation.Int(2), relation.Float(1.5)})
+	r.LogicalBytes = logical
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := New()
+	want := sample(0)
+	if err := d.WriteRelation("in/t", want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := d.ReadRelation("in/t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint() != want.Fingerprint() {
+		t.Error("round trip changed rows")
+	}
+	if !got.Schema.Equal(want.Schema) {
+		t.Error("round trip changed schema")
+	}
+}
+
+func TestReadMissing(t *testing.T) {
+	d := New()
+	if _, err := d.ReadRelation("nope"); err == nil {
+		t.Error("read of missing file succeeded")
+	}
+	if _, err := d.Stat("nope"); err == nil {
+		t.Error("stat of missing file succeeded")
+	}
+	if err := d.Delete("nope"); err == nil {
+		t.Error("delete of missing file succeeded")
+	}
+}
+
+func TestEmptyPathRejected(t *testing.T) {
+	d := New()
+	if err := d.WriteRelation("", sample(0)); err == nil {
+		t.Error("empty path accepted")
+	}
+}
+
+func TestStatAndCounters(t *testing.T) {
+	d := New()
+	rel := sample(1000)
+	if err := d.WriteRelation("x", rel); err != nil {
+		t.Fatal(err)
+	}
+	st, err := d.Stat("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.LogicalBytes != 1000 || st.Rows != 2 {
+		t.Errorf("stat = %+v", st)
+	}
+	if st.EffectiveBytes() != 1000 {
+		t.Errorf("effective = %d", st.EffectiveBytes())
+	}
+	if d.BytesWritten() != 1000 {
+		t.Errorf("written = %d, want logical 1000", d.BytesWritten())
+	}
+	if _, err := d.ReadRelation("x"); err != nil {
+		t.Fatal(err)
+	}
+	if d.BytesRead() != 1000 {
+		t.Errorf("read = %d", d.BytesRead())
+	}
+	d.ResetCounters()
+	if d.BytesRead() != 0 || d.BytesWritten() != 0 {
+		t.Error("counters not reset")
+	}
+}
+
+func TestStatEffectiveFallsBackToPhysical(t *testing.T) {
+	d := New()
+	if err := d.WriteRelation("x", sample(0)); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := d.Stat("x")
+	if st.EffectiveBytes() != st.PhysicalBytes {
+		t.Error("effective should equal physical when logical unset")
+	}
+}
+
+func TestListSortedAndDelete(t *testing.T) {
+	d := New()
+	for _, p := range []string{"b", "a", "c"} {
+		if err := d.WriteRelation(p, sample(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := d.List()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("List = %v", got)
+	}
+	if err := d.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	if d.Exists("b") {
+		t.Error("deleted file still exists")
+	}
+}
+
+func TestOverwriteReplaces(t *testing.T) {
+	d := New()
+	d.WriteRelation("x", sample(0))
+	r2 := relation.New("t", relation.NewSchema("id:int", "v:float"))
+	r2.MustAppend(relation.Row{relation.Int(9), relation.Float(9)})
+	if err := d.WriteRelation("x", r2); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := d.ReadRelation("x")
+	if got.NumRows() != 1 || got.Rows[0][0].I != 9 {
+		t.Error("overwrite did not replace contents")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	d := New()
+	d.WriteRelation("shared", sample(100))
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				if _, err := d.ReadRelation("shared"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	if d.BytesRead() != 16*50*100 {
+		t.Errorf("read counter = %d", d.BytesRead())
+	}
+}

@@ -1,0 +1,564 @@
+package engines
+
+import (
+	"strings"
+	"testing"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/dfs"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// maxPropertyPrice builds the paper's Listing 1 workflow DAG.
+func maxPropertyPrice() *ir.DAG {
+	d := ir.NewDAG()
+	props := d.AddInput("properties", "in/properties", relation.NewSchema("id:int", "street:string", "town:string"))
+	prices := d.AddInput("prices", "in/prices", relation.NewSchema("id:int", "price:float"))
+	locs := d.Add(ir.OpProject, "locs", ir.Params{Columns: []string{"id", "street", "town"}}, props)
+	idPrice := d.Add(ir.OpJoin, "id_price", ir.Params{LeftCols: []string{"id"}, RightCols: []string{"id"}}, locs, prices)
+	d.Add(ir.OpAgg, "street_price", ir.Params{
+		GroupBy: []string{"street", "town"},
+		Aggs:    []ir.AggSpec{{Func: ir.AggMax, Col: "price", As: "max_price"}},
+	}, idPrice)
+	return d
+}
+
+func wholeFragment(t *testing.T, d *ir.DAG) *ir.Fragment {
+	t.Helper()
+	f, err := ir.NewFragment(d, d.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func pageRankWhileDAG(t *testing.T, iters int) *ir.DAG {
+	t.Helper()
+	d := ir.NewDAG()
+	edges := d.AddInput("edges", "in/edges", relation.NewSchema("src:int", "dst:int", "degree:int"))
+	ranks := d.AddInput("ranks", "in/ranks", relation.NewSchema("vertex:int", "rank:float"))
+	body := ir.NewDAG()
+	bRanks := body.AddInput("ranks", "", relation.NewSchema("vertex:int", "rank:float"))
+	bEdges := body.AddInput("edges", "", relation.NewSchema("src:int", "dst:int", "degree:int"))
+	j := body.Add(ir.OpJoin, "sent", ir.Params{LeftCols: []string{"vertex"}, RightCols: []string{"src"}}, bRanks, bEdges)
+	sh := body.Add(ir.OpArith, "shared", ir.Params{Dst: "rank", ALeft: ir.ColRef("rank"), ARght: ir.ColRef("degree"), AOp: ir.ArithDiv}, j)
+	g := body.Add(ir.OpAgg, "gathered", ir.Params{GroupBy: []string{"dst"}, Aggs: []ir.AggSpec{{Func: ir.AggSum, Col: "rank", As: "rank"}}}, sh)
+	m := body.Add(ir.OpArith, "damped", ir.Params{Dst: "rank", ALeft: ir.ColRef("rank"), ARght: ir.LitOp(relation.Float(0.85)), AOp: ir.ArithMul}, g)
+	ap := body.Add(ir.OpArith, "applied", ir.Params{Dst: "rank", ALeft: ir.ColRef("rank"), ARght: ir.LitOp(relation.Float(0.15)), AOp: ir.ArithAdd}, m)
+	body.Add(ir.OpProject, "new_ranks", ir.Params{Columns: []string{"dst", "rank"}, As: []string{"vertex", "rank"}}, ap)
+	d.Add(ir.OpWhile, "final_ranks", ir.Params{
+		Body: body, MaxIter: iters,
+		Carried: map[string]string{"ranks": "new_ranks"},
+	}, ranks, edges)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRegistryHasAllEngines(t *testing.T) {
+	reg := Registry()
+	for _, name := range []string{"hadoop", "spark", "naiad", "powergraph", "graphchi", "metis", "serial", "naiad-lindi"} {
+		if reg[name] == nil {
+			t.Errorf("missing engine %q", name)
+		}
+	}
+	if len(StandardEngines()) != 7 {
+		t.Errorf("standard engines = %d, want 7", len(StandardEngines()))
+	}
+}
+
+func TestValidFragmentRules(t *testing.T) {
+	d := maxPropertyPrice()
+	whole := wholeFragment(t, d)
+
+	// General engines accept anything.
+	for _, e := range []*Engine{Spark(), Naiad(), SerialC()} {
+		if err := e.ValidFragment(whole); err != nil {
+			t.Errorf("%s rejected relational fragment: %v", e.Name(), err)
+		}
+	}
+	// MapReduce engines reject two shuffles (JOIN + AGG) in one job.
+	for _, e := range []*Engine{Hadoop(), Metis()} {
+		if err := e.ValidFragment(whole); err == nil {
+			t.Errorf("%s accepted two-shuffle fragment", e.Name())
+		}
+	}
+	// One shuffle is fine for MapReduce.
+	oneShuffle, err := ir.NewFragment(d, []*ir.Op{d.ByOut("locs"), d.ByOut("id_price")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Hadoop().ValidFragment(oneShuffle); err != nil {
+		t.Errorf("hadoop rejected 1-shuffle fragment: %v", err)
+	}
+	// Vertex-centric engines reject relational fragments entirely.
+	for _, e := range []*Engine{PowerGraph(), GraphChi()} {
+		if err := e.ValidFragment(whole); err == nil {
+			t.Errorf("%s accepted relational fragment", e.Name())
+		}
+		if err := e.ValidFragment(oneShuffle); err == nil {
+			t.Errorf("%s accepted non-graph fragment", e.Name())
+		}
+	}
+}
+
+func TestValidFragmentGraphIdiom(t *testing.T) {
+	d := pageRankWhileDAG(t, 5)
+	w := d.ByOut("final_ranks")
+	frag, err := ir.NewFragment(d, []*ir.Op{w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range []*Engine{PowerGraph(), GraphChi(), Spark(), Naiad(), Hadoop(), Metis(), SerialC()} {
+		if err := e.ValidFragment(frag); err != nil {
+			t.Errorf("%s rejected PageRank WHILE: %v", e.Name(), err)
+		}
+	}
+	if ir.DetectGraphIdiom(w) == nil {
+		t.Fatal("graph idiom not detected in PageRank body")
+	}
+}
+
+func TestCanMergePairRules(t *testing.T) {
+	d := maxPropertyPrice()
+	j, a, p := d.ByOut("id_price"), d.ByOut("street_price"), d.ByOut("locs")
+	if Hadoop().CanMerge(j, a) {
+		t.Error("hadoop must not merge two shuffles")
+	}
+	if !Hadoop().CanMerge(p, j) {
+		t.Error("hadoop should merge project+join")
+	}
+	if !Spark().CanMerge(j, a) {
+		t.Error("spark should merge anything")
+	}
+	if PowerGraph().CanMerge(p, j) {
+		t.Error("vertex-centric engines never merge")
+	}
+}
+
+func TestEffectiveNodes(t *testing.T) {
+	c := cluster.EC2(100)
+	if got := Naiad().EffectiveNodes(c); got != 100 {
+		t.Errorf("naiad nodes = %d", got)
+	}
+	if got := PowerGraph().EffectiveNodes(c); got != 16 {
+		t.Errorf("powergraph nodes = %d, want 16 cap", got)
+	}
+	if got := Metis().EffectiveNodes(c); got != 1 {
+		t.Errorf("metis nodes = %d, want 1", got)
+	}
+	if got := GraphChi().EffectiveNodes(c); got != 1 {
+		t.Errorf("graphchi nodes = %d, want 1", got)
+	}
+}
+
+func TestPlanStageFusion(t *testing.T) {
+	d := maxPropertyPrice()
+	whole := wholeFragment(t, d)
+	opt, err := Spark().Plan(whole, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := Spark().Plan(whole, ModeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Optimized: project fuses into join's stage; agg needs a second
+	// shuffle stage → 2 stages. Naive: 3 stages (one per op).
+	if opt.NumStages() != 2 {
+		t.Errorf("optimized stages = %d, want 2", opt.NumStages())
+	}
+	if naive.NumStages() != 3 {
+		t.Errorf("naive stages = %d, want 3", naive.NumStages())
+	}
+}
+
+func TestSparkSourceSharedScan(t *testing.T) {
+	d := maxPropertyPrice()
+	whole := wholeFragment(t, d)
+	opt, _ := Spark().Plan(whole, ModeOptimized)
+	if !strings.Contains(opt.Source, "fused: shared scan") {
+		t.Errorf("optimized spark source missing fused marker:\n%s", opt.Source)
+	}
+	if !strings.Contains(opt.Source, "reduceByKey") {
+		t.Errorf("spark source missing reduceByKey:\n%s", opt.Source)
+	}
+	naive, _ := Spark().Plan(whole, ModeNaive)
+	if strings.Count(naive.Source, ".map(") <= strings.Count(opt.Source, ".map(") {
+		t.Errorf("naive source should contain more map passes\nnaive:\n%s\nopt:\n%s", naive.Source, opt.Source)
+	}
+}
+
+func TestHadoopSourceHasMapperReducer(t *testing.T) {
+	d := maxPropertyPrice()
+	frag, err := ir.NewFragment(d, []*ir.Op{d.ByOut("locs"), d.ByOut("id_price")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Hadoop().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Mapper", "Reducer", "shuffle", "join"} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("hadoop source missing %q:\n%s", want, p.Source)
+		}
+	}
+}
+
+func TestGASSource(t *testing.T) {
+	d := pageRankWhileDAG(t, 5)
+	frag, err := ir.NewFragment(d, []*ir.Op{d.ByOut("final_ranks")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := PowerGraph().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"gather", "apply", "scatter", "vertex_program"} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("GAS source missing %q:\n%s", want, p.Source)
+		}
+	}
+	if !p.Iterative {
+		t.Error("GAS plan should be natively iterative")
+	}
+}
+
+func TestCSource(t *testing.T) {
+	d := maxPropertyPrice()
+	p, err := SerialC().Plan(wholeFragment(t, d), ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"int main", "load_tsv", "write_tsv"} {
+		if !strings.Contains(p.Source, want) {
+			t.Errorf("C source missing %q:\n%s", want, p.Source)
+		}
+	}
+}
+
+func seedDFS(t *testing.T, scale int64) *dfs.DFS {
+	t.Helper()
+	d := dfs.New()
+	props := relation.New("properties", relation.NewSchema("id:int", "street:string", "town:string"))
+	streets := []string{"mill rd", "high st", "king st"}
+	for i := int64(0); i < 30; i++ {
+		props.MustAppend(relation.Row{relation.Int(i), relation.Str(streets[i%3]), relation.Str("cam")})
+	}
+	props.LogicalBytes = props.PhysicalBytes() * scale
+	prices := relation.New("prices", relation.NewSchema("id:int", "price:float"))
+	for i := int64(0); i < 30; i++ {
+		prices.MustAppend(relation.Row{relation.Int(i), relation.Float(float64(100 + i))})
+	}
+	prices.LogicalBytes = prices.PhysicalBytes() * scale
+	if err := d.WriteRelation("in/properties", props); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.WriteRelation("in/prices", prices); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestRunProducesResultsAndCost(t *testing.T) {
+	dag := maxPropertyPrice()
+	frag := wholeFragment(t, dag)
+	fs := seedDFS(t, 1000)
+	ctx := RunContext{DFS: fs, Cluster: cluster.Local(7)}
+	p, err := Naiad().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ctx, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Error("zero makespan")
+	}
+	if res.Breakdown.Overhead != cluster.Seconds(Naiad().Profile().PerJobOverheadS) {
+		t.Errorf("overhead = %v", res.Breakdown.Overhead)
+	}
+	if res.Breakdown.Pull <= 0 || res.Breakdown.Push <= 0 || res.Breakdown.Proc <= 0 {
+		t.Errorf("breakdown has zero phases: %+v", res.Breakdown)
+	}
+	out, err := fs.ReadRelation("street_price")
+	if err != nil {
+		t.Fatalf("output not written: %v", err)
+	}
+	if out.NumRows() != 3 {
+		t.Errorf("street_price rows = %d, want 3", out.NumRows())
+	}
+}
+
+func TestCrossEngineResultEquality(t *testing.T) {
+	dag := maxPropertyPrice()
+	// Run the workflow on every general engine as one job and compare.
+	var fingerprints []string
+	var names []string
+	for _, e := range []*Engine{Spark(), Naiad(), SerialC(), NaiadLindi()} {
+		fs := seedDFS(t, 1)
+		frag := wholeFragment(t, dag)
+		p, err := e.Plan(frag, ModeOptimized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(RunContext{DFS: fs, Cluster: cluster.Local(7)}, p); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		out, err := fs.ReadRelation("street_price")
+		if err != nil {
+			t.Fatal(err)
+		}
+		fingerprints = append(fingerprints, out.Fingerprint())
+		names = append(names, e.Name())
+	}
+	for i := 1; i < len(fingerprints); i++ {
+		if fingerprints[i] != fingerprints[0] {
+			t.Errorf("%s result differs from %s", names[i], names[0])
+		}
+	}
+}
+
+func TestSingleMachineSlowerThanDistributedAtScale(t *testing.T) {
+	dag := maxPropertyPrice()
+	c := cluster.Local(7)
+	run := func(e *Engine, scale int64) cluster.Seconds {
+		fs := seedDFS(t, scale)
+		p, err := e.Plan(wholeFragment(t, dag), ModeOptimized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunContext{DFS: fs, Cluster: c}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	// At large logical scale the distributed engine wins; tiny scale the
+	// low-overhead single-machine engine wins (paper §2.1).
+	big := int64(20_000_000) // tens of GB logical
+	if m, n := run(Metis(), big), run(Naiad(), big); m <= n {
+		t.Errorf("at scale, metis (%v) should be slower than naiad (%v)", m, n)
+	}
+	small := int64(100)
+	if m, n := run(Metis(), small), run(Naiad(), small); m >= n {
+		t.Errorf("at small scale, metis (%v) should beat naiad (%v)", m, n)
+	}
+}
+
+func TestMemCapThrashing(t *testing.T) {
+	dag := maxPropertyPrice()
+	// Logical inputs far beyond Metis's 13 GB cap.
+	fs := seedDFS(t, 50_000_000)
+	p, err := Metis().Plan(wholeFragment(t, dag), ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The whole fragment has 2 shuffles — invalid for Metis as one job,
+	// but Plan/Run (used directly here) still executes it; validity is
+	// the partitioner's concern. Use a valid sub-fragment instead.
+	frag, err := ir.NewFragment(dag, []*ir.Op{dag.ByOut("locs"), dag.ByOut("id_price")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = Metis().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunContext{DFS: fs, Cluster: cluster.Local(7)}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OOM {
+		t.Error("expected OOM/thrashing beyond memory capacity")
+	}
+}
+
+func TestNonAssocGroupByPenalty(t *testing.T) {
+	dag := maxPropertyPrice()
+	frag := wholeFragment(t, dag)
+	c := cluster.EC2(100)
+	scale := int64(1_000_000)
+
+	fsA := seedDFS(t, scale)
+	pa, _ := Naiad().Plan(frag, ModeHand)
+	ra, err := Run(RunContext{DFS: fsA, Cluster: c}, pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsB := seedDFS(t, scale)
+	pb, _ := NaiadLindi().Plan(frag, ModeHand)
+	rb, err := Run(RunContext{DFS: fsB, Cluster: c}, pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Makespan <= ra.Makespan {
+		t.Errorf("lindi (%v) should be slower than musketeer-naiad (%v)", rb.Makespan, ra.Makespan)
+	}
+}
+
+func TestModeOrdering(t *testing.T) {
+	dag := maxPropertyPrice()
+	frag := wholeFragment(t, dag)
+	c := cluster.Local(7)
+	times := map[PlanMode]cluster.Seconds{}
+	for _, mode := range []PlanMode{ModeHand, ModeOptimized, ModeNaive} {
+		fs := seedDFS(t, 1_000_000)
+		p, err := Spark().Plan(frag, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(RunContext{DFS: fs, Cluster: c}, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		times[mode] = res.Makespan
+	}
+	if !(times[ModeHand] < times[ModeOptimized] && times[ModeOptimized] < times[ModeNaive]) {
+		t.Errorf("mode ordering violated: hand=%v opt=%v naive=%v",
+			times[ModeHand], times[ModeOptimized], times[ModeNaive])
+	}
+	// Paper §6.4: generated code within 5-30% of hand-optimized.
+	overhead := (float64(times[ModeOptimized]) - float64(times[ModeHand])) / float64(times[ModeHand])
+	if overhead > 0.30 {
+		t.Errorf("generated-code overhead %.0f%% exceeds 30%%", overhead*100)
+	}
+}
+
+func TestNativeIterationRun(t *testing.T) {
+	d := pageRankWhileDAG(t, 5)
+	frag, err := ir.NewFragment(d, []*ir.Op{d.ByOut("final_ranks")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := dfs.New()
+	edges := relation.New("edges", relation.NewSchema("src:int", "dst:int", "degree:int"))
+	edges.MustAppend(relation.Row{relation.Int(1), relation.Int(2), relation.Int(1)})
+	edges.MustAppend(relation.Row{relation.Int(2), relation.Int(1), relation.Int(1)})
+	ranks := relation.New("ranks", relation.NewSchema("vertex:int", "rank:float"))
+	ranks.MustAppend(relation.Row{relation.Int(1), relation.Float(1)})
+	ranks.MustAppend(relation.Row{relation.Int(2), relation.Float(1)})
+	if err := fs.WriteRelation("in/edges", edges); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.WriteRelation("in/ranks", ranks); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Naiad().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(RunContext{DFS: fs, Cluster: cluster.EC2(16)}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 5 {
+		t.Errorf("iterations = %d, want 5", res.Iterations)
+	}
+	out, err := fs.ReadRelation("final_ranks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 2 {
+		t.Errorf("final ranks = %v", out.Rows)
+	}
+	// Symmetric 2-cycle: both ranks converge to 1.
+	for _, r := range out.Rows {
+		if diff := r[1].F - 1.0; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("rank %v, want 1.0", r)
+		}
+	}
+}
+
+func TestWhileOnNonNativeEngineRejectedByRun(t *testing.T) {
+	d := pageRankWhileDAG(t, 2)
+	frag, err := ir.NewFragment(d, []*ir.Op{d.ByOut("final_ranks")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Hadoop().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Iterative {
+		t.Error("hadoop plan must not be natively iterative")
+	}
+	if _, err := Run(RunContext{DFS: dfs.New(), Cluster: cluster.EC2(16)}, p); err == nil {
+		t.Error("Run accepted non-native WHILE plan")
+	}
+}
+
+func TestEstimateCostMonotonicInVolume(t *testing.T) {
+	c := cluster.EC2(16)
+	e := Hadoop()
+	small := e.EstimateCost(c, Volumes{Pull: 1e9, Proc: 1e9, Push: 1e8})
+	large := e.EstimateCost(c, Volumes{Pull: 10e9, Proc: 10e9, Push: 1e9})
+	if large <= small {
+		t.Errorf("cost not monotone: %v vs %v", small, large)
+	}
+	withJobs := e.EstimateCost(c, Volumes{Pull: 1e9, Proc: 1e9, Push: 1e8, ExtraJobs: 3})
+	if withJobs <= small {
+		t.Error("extra jobs should add overhead")
+	}
+}
+
+func TestTypedCodegenOnlyWhenOptimized(t *testing.T) {
+	d := maxPropertyPrice()
+	whole, err := ir.NewFragment(d, d.Ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := Spark().Plan(whole, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Look-ahead type inference (§4.3.4): optimized code carries the
+	// inferred tuple types of each relation.
+	for _, want := range []string{"max_price: Double", "street: String", "id: Long"} {
+		if !strings.Contains(opt.Source, want) {
+			t.Errorf("optimized source missing inferred type %q:\n%s", want, opt.Source)
+		}
+	}
+	naive, err := Spark().Plan(whole, ModeNaive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(naive.Source, ": Double") {
+		t.Errorf("naive source should be untyped:\n%s", naive.Source)
+	}
+}
+
+func TestProfileGetters(t *testing.T) {
+	if got := Hadoop().RateNodes(cluster.EC2(16)); got <= 1 || got >= 16 {
+		t.Errorf("RateNodes(16) = %v, want sublinear in (1,16)", got)
+	}
+	if got := Metis().RateNodes(cluster.EC2(100)); got != 1 {
+		t.Errorf("single-machine RateNodes = %v", got)
+	}
+	if Hadoop().ShuffleSurcharge() <= 1 {
+		t.Error("hadoop should surcharge shuffles")
+	}
+	if Naiad().ShuffleSurcharge() != 1 {
+		t.Error("naiad has no shuffle surcharge")
+	}
+	if Spark().CrossBlowup() <= 1 {
+		t.Error("spark cartesian blowup missing")
+	}
+	if Hadoop().CrossBlowup() != 1 {
+		t.Error("hadoop should have no cartesian blowup")
+	}
+	langs := map[string]string{
+		"hadoop": "Java", "spark": "Scala", "naiad": "C#",
+		"powergraph": "C++", "graphchi": "C++", "metis": "C++", "serial": "C",
+	}
+	for name, want := range langs {
+		if got := Registry()[name].Language(); got != want {
+			t.Errorf("%s language = %s, want %s", name, got, want)
+		}
+	}
+}

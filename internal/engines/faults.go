@@ -1,0 +1,131 @@
+package engines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"musketeer/internal/cluster"
+)
+
+// FaultTolerance classifies how a back-end recovers from worker failure
+// (the fault-tolerance column of paper Table 3).
+type FaultTolerance uint8
+
+const (
+	// FTNone restarts the whole job from scratch (serial C, Metis,
+	// GraphChi — single-machine systems have nothing to recover onto,
+	// so a crash means rerunning).
+	FTNone FaultTolerance = iota
+	// FTTaskLevel re-executes only the failed node's tasks from
+	// materialized intermediate state (MapReduce/Hadoop).
+	FTTaskLevel
+	// FTLineage recomputes lost partitions from their lineage
+	// (Spark RDDs); cheaper than a restart, costlier than task retry
+	// because upstream partitions may need recomputation.
+	FTLineage
+	// FTCheckpoint rolls back to the last global checkpoint
+	// (Naiad; PowerGraph snapshots similarly).
+	FTCheckpoint
+)
+
+// String names the mechanism as Table 3 does.
+func (f FaultTolerance) String() string {
+	switch f {
+	case FTTaskLevel:
+		return "task-level"
+	case FTLineage:
+		return "lineage"
+	case FTCheckpoint:
+		return "checkpoint"
+	default:
+		return "none"
+	}
+}
+
+// faultToleranceOf maps engines to their Table 3 mechanism.
+func (e *Engine) FaultTolerance() FaultTolerance {
+	switch e.name {
+	case "hadoop":
+		return FTTaskLevel
+	case "spark":
+		return FTLineage
+	case "naiad", "naiad-lindi", "powergraph":
+		return FTCheckpoint
+	default: // metis, graphchi, serial, xstream — single machine
+		return FTNone
+	}
+}
+
+// FaultModel injects worker failures into job executions. MTBF is the
+// simulated mean time between failures across the whole cluster; a job of
+// duration d on n nodes expects d/MTBF failures. The model is seeded and
+// deterministic.
+type FaultModel struct {
+	// MTBFSeconds is the cluster-wide mean time between worker failures
+	// in simulated seconds. Zero disables injection.
+	MTBFSeconds float64
+	// CheckpointIntervalS is the checkpoint period for FTCheckpoint
+	// engines (default 60 simulated seconds).
+	CheckpointIntervalS float64
+	// Seed makes the injection reproducible.
+	Seed int64
+}
+
+// RecoveryOverhead returns the extra simulated time failures add to a job
+// of baseline duration `base` on the given engine, plus the number of
+// failures injected. The per-failure penalty follows the engine's recovery
+// mechanism:
+//
+//   - none:        the job restarts — lose the progress made so far
+//     (uniformly distributed across the job, so base/2 expected).
+//   - task-level:  re-run the failed worker's share: base / nodes.
+//   - lineage:     recompute the lost partitions and some upstream
+//     lineage: 2 × base / nodes.
+//   - checkpoint:  roll every worker back to the last checkpoint:
+//     CheckpointInterval/2 expected, plus the steady-state
+//     checkpointing tax folded into the penalty.
+func (fm *FaultModel) RecoveryOverhead(e *Engine, c *cluster.Cluster, base cluster.Seconds) (cluster.Seconds, int) {
+	if fm == nil || fm.MTBFSeconds <= 0 || base <= 0 {
+		return 0, 0
+	}
+	r := rand.New(rand.NewSource(fm.Seed))
+	interval := fm.CheckpointIntervalS
+	if interval <= 0 {
+		interval = 60
+	}
+	nodes := float64(e.EffectiveNodes(c))
+	// Expected failures scale with exposure: duration × active nodes,
+	// against the cluster-wide MTBF normalized to the full cluster size.
+	exposure := float64(base) * nodes / float64(c.Nodes)
+	expected := exposure / fm.MTBFSeconds
+	failures := int(expected)
+	if r.Float64() < expected-float64(failures) {
+		failures++
+	}
+	if failures == 0 {
+		return 0, 0
+	}
+	var penalty float64
+	for i := 0; i < failures; i++ {
+		switch e.FaultTolerance() {
+		case FTTaskLevel:
+			penalty += float64(base) / nodes
+		case FTLineage:
+			penalty += 2 * float64(base) / nodes
+		case FTCheckpoint:
+			penalty += interval * (0.25 + 0.5*r.Float64())
+		default: // restart from scratch
+			penalty += float64(base) * r.Float64()
+		}
+	}
+	return cluster.Seconds(penalty), failures
+}
+
+// String renders the model for logs.
+func (fm *FaultModel) String() string {
+	if fm == nil || fm.MTBFSeconds <= 0 {
+		return "faults: disabled"
+	}
+	return fmt.Sprintf("faults: MTBF=%.0fs checkpoint=%.0fs seed=%d",
+		fm.MTBFSeconds, fm.CheckpointIntervalS, fm.Seed)
+}

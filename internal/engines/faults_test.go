@@ -1,0 +1,117 @@
+package engines
+
+import (
+	"testing"
+
+	"musketeer/internal/cluster"
+)
+
+func TestFaultToleranceMechanisms(t *testing.T) {
+	want := map[string]FaultTolerance{
+		"hadoop": FTTaskLevel, "spark": FTLineage,
+		"naiad": FTCheckpoint, "powergraph": FTCheckpoint,
+		"metis": FTNone, "graphchi": FTNone, "serial": FTNone,
+	}
+	for name, ft := range want {
+		e := Registry()[name]
+		if got := e.FaultTolerance(); got != ft {
+			t.Errorf("%s fault tolerance = %s, want %s", name, got, ft)
+		}
+	}
+	for _, f := range []FaultTolerance{FTNone, FTTaskLevel, FTLineage, FTCheckpoint} {
+		if f.String() == "" {
+			t.Error("empty mechanism name")
+		}
+	}
+}
+
+func TestRecoveryOverheadDisabled(t *testing.T) {
+	var fm *FaultModel
+	if over, n := fm.RecoveryOverhead(Hadoop(), cluster.EC2(100), 1000); over != 0 || n != 0 {
+		t.Error("nil model should inject nothing")
+	}
+	fm2 := &FaultModel{MTBFSeconds: 0}
+	if over, n := fm2.RecoveryOverhead(Hadoop(), cluster.EC2(100), 1000); over != 0 || n != 0 {
+		t.Error("zero MTBF should inject nothing")
+	}
+	if (&FaultModel{}).String() != "faults: disabled" {
+		t.Error("disabled model string")
+	}
+}
+
+func TestRecoveryOverheadOrdering(t *testing.T) {
+	// Over a long job with frequent failures, the per-failure penalties
+	// must order: task-level < checkpoint-with-short-interval and
+	// restart-from-scratch dwarfs everything on a single machine.
+	c := cluster.EC2(100)
+	base := cluster.Seconds(2000)
+	fm := FaultModel{MTBFSeconds: 300, CheckpointIntervalS: 60, Seed: 7}
+
+	hOver, hFail := fm.RecoveryOverhead(Hadoop(), c, base)
+	if hFail == 0 {
+		t.Fatal("expected failures on a 2000s job with 300s MTBF")
+	}
+	sOver, _ := fm.RecoveryOverhead(Spark(), c, base)
+	if sOver <= hOver {
+		t.Errorf("lineage recovery (%v) should cost more than task retry (%v)", sOver, hOver)
+	}
+	// A single-machine engine restarting from scratch loses big chunks.
+	serialOver, serialFail := fm.RecoveryOverhead(SerialC(), c, base)
+	if serialFail > 0 && serialOver <= hOver {
+		t.Errorf("restart-from-scratch (%v) should cost more than task retry (%v)", serialOver, hOver)
+	}
+}
+
+func TestRecoveryDeterministic(t *testing.T) {
+	fm := FaultModel{MTBFSeconds: 200, Seed: 3}
+	c := cluster.EC2(16)
+	a1, n1 := fm.RecoveryOverhead(Naiad(), c, 1500)
+	a2, n2 := fm.RecoveryOverhead(Naiad(), c, 1500)
+	if a1 != a2 || n1 != n2 {
+		t.Error("fault injection not deterministic for a fixed seed")
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	dag := maxPropertyPrice()
+	frag := wholeFragment(t, dag)
+	// Big logical scale so the job is long enough to attract failures.
+	fs := seedDFS(t, 30_000_000)
+	plan, err := Naiad().Plan(frag, ModeOptimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := Run(RunContext{DFS: fs, Cluster: cluster.EC2(100)}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs2 := seedDFS(t, 30_000_000)
+	faulty, err := Run(RunContext{
+		DFS: fs2, Cluster: cluster.EC2(100),
+		Faults: &FaultModel{MTBFSeconds: 20, Seed: 1},
+	}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.Failures == 0 {
+		t.Fatalf("no failures injected (makespan %v)", faulty.Makespan)
+	}
+	if faulty.Makespan <= clean.Makespan {
+		t.Errorf("faulty run (%v) should be slower than clean run (%v)", faulty.Makespan, clean.Makespan)
+	}
+	if faulty.Recovery <= 0 {
+		t.Error("recovery time not accounted")
+	}
+	// Results are unaffected by failures (recovery is transparent).
+	a, err := fs.ReadRelation("street_price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fs2.ReadRelation("street_price")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("failure injection changed results")
+	}
+}

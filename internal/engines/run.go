@@ -1,0 +1,368 @@
+package engines
+
+import (
+	"fmt"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/dfs"
+	"musketeer/internal/exec"
+	"musketeer/internal/ir"
+)
+
+// RunContext is the deployment a job executes on.
+type RunContext struct {
+	DFS     *dfs.DFS
+	Cluster *cluster.Cluster
+	// Faults, when non-nil, injects worker failures; each engine recovers
+	// per its Table 3 mechanism (task retry, lineage, checkpoint, restart).
+	Faults *FaultModel
+}
+
+// CostBreakdown decomposes a job's simulated makespan into the phases of
+// the paper's cost model (Table 1 plus per-job overhead).
+type CostBreakdown struct {
+	Overhead cluster.Seconds
+	Pull     cluster.Seconds
+	Load     cluster.Seconds
+	Shuffle  cluster.Seconds
+	Proc     cluster.Seconds
+	Push     cluster.Seconds
+}
+
+// Total sums the phases.
+func (c CostBreakdown) Total() cluster.Seconds {
+	return c.Overhead + c.Pull + c.Load + c.Shuffle + c.Proc + c.Push
+}
+
+// RunResult reports one executed job.
+type RunResult struct {
+	Job        string
+	Engine     string
+	Makespan   cluster.Seconds
+	Breakdown  CostBreakdown
+	Iterations int
+	// OOM reports that the job's working set exceeded the engine's memory
+	// capacity; the makespan includes the thrashing penalty.
+	OOM bool
+	// Failures counts injected worker failures; Recovery is the simulated
+	// time the engine's fault-tolerance mechanism spent recovering from
+	// them (included in Makespan).
+	Failures int
+	Recovery cluster.Seconds
+	Trace    *exec.Trace
+	// PullBytes/PushBytes are the effective volumes moved at job edges.
+	PullBytes, PushBytes int64
+}
+
+// InputPath returns the DFS path an external input is read from: source
+// operators carry an explicit path, intermediates are stored under their
+// relation name.
+func InputPath(op *ir.Op) string {
+	if op.Type == ir.OpInput && op.Params.Path != "" {
+		return op.Params.Path
+	}
+	return op.Out
+}
+
+// Run executes the plan: reads the fragment's external inputs from the
+// DFS, evaluates the operators through the shared kernels, writes external
+// outputs back, and computes the simulated makespan from the engine's
+// profile and the logical volumes observed. Non-native WHILE fragments must
+// be expanded into per-iteration jobs by the caller before reaching Run.
+func Run(ctx RunContext, p *Plan) (*RunResult, error) {
+	if p.While != nil && !p.Iterative {
+		return nil, fmt.Errorf("%s: WHILE fragment requires the iteration driver", p.Engine.Name())
+	}
+	env := exec.Env{}
+	var pullBytes int64
+	for _, in := range p.Frag.ExtIn {
+		rel, err := ctx.DFS.ReadRelation(InputPath(in))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.Engine.Name(), err)
+		}
+		rel.Name = in.Out
+		env[in.Out] = rel
+		pullBytes += rel.EffectiveBytes()
+	}
+
+	trace := exec.NewTrace()
+	for _, op := range p.Frag.Ops {
+		if op.Type == ir.OpInput {
+			continue
+		}
+		rel, err := exec.RunOp(op, env, trace)
+		if err != nil {
+			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
+		env[op.Out] = rel
+		trace.OutBytes[op.ID] = rel.EffectiveBytes()
+		trace.OutRows[op.ID] = rel.NumRows()
+		if op.Type != ir.OpWhile {
+			trace.ProcBytes[op.ID] += rel.EffectiveBytes()
+		}
+	}
+
+	var pushBytes int64
+	for _, out := range p.Frag.ExtOut {
+		rel, ok := env[out.Out]
+		if !ok {
+			return nil, fmt.Errorf("%s: output %q not materialized", p.Engine.Name(), out.Out)
+		}
+		if err := ctx.DFS.WriteRelation(out.Out, rel); err != nil {
+			return nil, err
+		}
+		pushBytes += rel.EffectiveBytes()
+	}
+
+	res := &RunResult{
+		Job:       p.Frag.Name(),
+		Engine:    p.Engine.Name(),
+		Trace:     trace,
+		PullBytes: pullBytes,
+		PushBytes: pushBytes,
+	}
+	if p.While != nil {
+		res.Iterations = trace.Iterations[p.While.ID]
+	}
+	res.Breakdown, res.OOM = p.Engine.cost(ctx.Cluster, p, pullBytes, pushBytes, trace)
+	res.Makespan = res.Breakdown.Total()
+	if ctx.Faults != nil {
+		// Derive a per-job seed so different jobs see different failures
+		// while the whole run stays reproducible.
+		fm := *ctx.Faults
+		for _, ch := range p.Frag.Name() {
+			fm.Seed = fm.Seed*131 + int64(ch)
+		}
+		res.Recovery, res.Failures = fm.RecoveryOverhead(p.Engine, ctx.Cluster, res.Makespan)
+		res.Makespan += res.Recovery
+	}
+	return res, nil
+}
+
+// cost converts observed volumes into simulated time. This is the engine
+// side of the paper's cost function (§5.2): PULL and PUSH at the job's
+// edges, LOAD for engines with an ingest transformation, and PROCESS per
+// operator — paid once per operator, while merging lets all operators share
+// a single PULL/LOAD/PUSH.
+func (e *Engine) cost(c *cluster.Cluster, p *Plan, pullBytes, pushBytes int64, trace *exec.Trace) (CostBreakdown, bool) {
+	nodes := e.EffectiveNodes(c)
+	fn := e.RateNodes(c)
+	bd := CostBreakdown{
+		Overhead: cluster.Seconds(e.prof.PerJobOverheadS),
+		Pull:     cluster.TransferTime(pullBytes, e.prof.PullMBps*fn),
+		Load:     cluster.TransferTime(pullBytes, e.prof.LoadMBps*fn),
+		Push:     cluster.TransferTime(pushBytes, e.prof.PushMBps*fn),
+	}
+
+	// PROCESS: cumulative per-operator volumes (inputs + produced data),
+	// with a surcharge on shuffle operators for partition/sort engines,
+	// split into aggregation vs other work when the engine's high-level
+	// GROUP BY is non-associative (Lindi: aggregation collapses to one
+	// machine).
+	graph := p.Iterative && p.While != nil && ir.DetectGraphIdiom(p.While) != nil
+	rate := e.prof.ProcMBps
+	if graph && e.prof.GraphProcMBps > 0 {
+		rate = e.prof.GraphProcMBps
+	}
+	shuf := e.prof.ShuffleFactor
+	if shuf <= 0 {
+		shuf = 1
+	}
+	var aggBytes, otherBytes, genBytes, shufBytes int64
+	addOp := func(op *ir.Op) {
+		b := trace.ProcBytes[op.ID]
+		// Cumulative produced volume = processed minus consumed
+		// (accumulates across WHILE iterations).
+		genBytes += trace.ProcBytes[op.ID] - trace.InBytes[op.ID]
+		if ir.IsShuffleOp(op.Type) {
+			b = int64(float64(b) * shuf)
+			shufBytes += trace.InBytes[op.ID]
+		}
+		if e.prof.NonAssocGroupBy && op.Type == ir.OpAgg {
+			aggBytes += b
+		} else {
+			otherBytes += b
+		}
+	}
+	for _, op := range p.Frag.Ops {
+		if op.Type == ir.OpWhile && op.Params.Body != nil {
+			for _, bop := range allBodyOps(op.Params.Body) {
+				addOp(bop)
+			}
+			continue
+		}
+		if op.Type != ir.OpInput {
+			addOp(op)
+		}
+	}
+	if e.prof.LoadOutputs {
+		bd.Load += cluster.TransferTime(genBytes, e.prof.LoadMBps*fn)
+	}
+	if !graph {
+		// Graph-idiom plans communicate through the engine's vertex
+		// messaging, already covered by GraphProcMBps.
+		bd.Shuffle = cluster.TransferTime(shufBytes, e.prof.ShuffleMBps*fn)
+	}
+	proc := cluster.TransferTime(otherBytes, rate*fn) +
+		cluster.TransferTime(aggBytes, rate) // one machine
+	if e.prof.NonAssocGroupBy {
+		// Collecting the aggregation input onto a single machine moves it
+		// over one node's network link.
+		bd.Shuffle += cluster.TransferTime(aggBytes, e.prof.ShuffleMBps)
+	}
+	// Codegen quality (paper §4.3, §6.4): naive plans re-scan per
+	// operator; Musketeer-optimized plans carry a small residual tax over
+	// the hand-optimized baseline.
+	switch p.Mode {
+	case ModeNaive:
+		proc = cluster.Seconds(float64(proc) * e.prof.NaiveFactor)
+	case ModeOptimized:
+		proc = cluster.Seconds(float64(proc) * (1 + e.prof.CodegenTaxPct/100))
+	}
+
+	// Memory capacity: in-memory engines thrash once the working set
+	// (largest materialized relation, or the pulled inputs) exceeds the
+	// deployment's capacity. CROSS JOIN outputs are weighted by the
+	// engine's cartesian blow-up factor.
+	oom := false
+	if e.prof.MemCapGB > 0 {
+		// Memory capacity scales with physical nodes, not rate efficiency.
+		capBytes := int64(e.prof.MemCapGB * 1e9 * float64(nodes))
+		peak := pullBytes
+		if graph && e.prof.GraphMemFactor > 1 {
+			peak = int64(float64(pullBytes) * e.prof.GraphMemFactor)
+		}
+		blowup := e.prof.CrossJoinBlowup
+		if blowup <= 0 {
+			blowup = 1
+		}
+		var visit func(op *ir.Op)
+		visit = func(op *ir.Op) {
+			if op.Type == ir.OpInput {
+				return
+			}
+			if op.Params.Body != nil {
+				for _, bop := range op.Params.Body.Ops {
+					visit(bop)
+				}
+				return
+			}
+			b := trace.OutBytes[op.ID]
+			if op.Type == ir.OpCrossJoin {
+				b = int64(float64(b) * blowup)
+			}
+			if b > peak {
+				peak = b
+			}
+		}
+		for _, op := range p.Frag.Ops {
+			visit(op)
+		}
+		if peak > capBytes {
+			oom = true
+			proc = cluster.Seconds(float64(proc) * e.prof.ThrashFactor)
+		}
+	}
+	bd.Proc = proc
+	return bd, oom
+}
+
+func allBodyOps(d *ir.DAG) []*ir.Op {
+	var ops []*ir.Op
+	for _, op := range d.Ops {
+		if op.Type == ir.OpInput {
+			continue
+		}
+		ops = append(ops, op)
+		if op.Params.Body != nil {
+			ops = append(ops, allBodyOps(op.Params.Body)...)
+		}
+	}
+	return ops
+}
+
+// Volumes aggregates a prospective job's estimated data movement for
+// planning-time costing.
+type Volumes struct {
+	// Pull / Push are the job-edge DFS volumes.
+	Pull, Push int64
+	// Proc is the summed per-operator PROCESS volume (inputs + outputs,
+	// shuffle surcharge already applied, multiplied by expected iterations
+	// for WHILE fragments); AggProc is the subset flowing through
+	// aggregation operators.
+	Proc, AggProc int64
+	// Gen is the summed generated (operator output) volume, which feeds
+	// the LOAD phase of engines that materialize results in memory.
+	Gen int64
+	// Shuffle is the summed input volume of shuffle operators, moved over
+	// the network by distributed engines.
+	Shuffle int64
+	// Peak is the largest single estimated relation (cross-join weighted),
+	// checked against the engine's memory capacity.
+	Peak int64
+	// Graph marks a detected graph idiom (vertex-centric PROCESS rate).
+	Graph bool
+	// ExtraJobs adds per-job overheads beyond the first.
+	ExtraJobs int
+}
+
+// EstimateCost predicts a job's makespan from estimated volumes without
+// executing it — the planning-time side of the cost function used by the
+// DAG partitioner and the automatic mapper (§5.2).
+func (e *Engine) EstimateCost(c *cluster.Cluster, v Volumes) cluster.Seconds {
+	nodes := e.EffectiveNodes(c)
+	fn := e.RateNodes(c)
+	rate := e.prof.ProcMBps
+	if v.Graph && e.prof.GraphProcMBps > 0 {
+		rate = e.prof.GraphProcMBps
+	}
+	t := cluster.Seconds(e.prof.PerJobOverheadS*float64(1+v.ExtraJobs)) +
+		cluster.TransferTime(v.Pull, e.prof.PullMBps*fn) +
+		cluster.TransferTime(v.Pull, e.prof.LoadMBps*fn) +
+		cluster.TransferTime(v.Push, e.prof.PushMBps*fn)
+	if e.prof.LoadOutputs {
+		t += cluster.TransferTime(v.Gen, e.prof.LoadMBps*fn)
+	}
+	if !v.Graph {
+		t += cluster.TransferTime(v.Shuffle, e.prof.ShuffleMBps*fn)
+	}
+	proc := cluster.TransferTime(v.Proc-v.AggProc, rate*fn)
+	if e.prof.NonAssocGroupBy {
+		proc += cluster.TransferTime(v.AggProc, rate) // one machine
+		t += cluster.TransferTime(v.AggProc, e.prof.ShuffleMBps)
+	} else {
+		proc += cluster.TransferTime(v.AggProc, rate*fn)
+	}
+	if e.prof.MemCapGB > 0 {
+		peak := v.Peak
+		if v.Pull > peak {
+			peak = v.Pull
+		}
+		if v.Graph && e.prof.GraphMemFactor > 1 {
+			if g := int64(float64(v.Pull) * e.prof.GraphMemFactor); g > peak {
+				peak = g
+			}
+		}
+		if peak > int64(e.prof.MemCapGB*1e9*float64(nodes)) {
+			proc = cluster.Seconds(float64(proc) * e.prof.ThrashFactor)
+		}
+	}
+	return t + proc
+}
+
+// ShuffleSurcharge returns the engine's PROCESS multiplier for shuffle
+// operators (≥ 1).
+func (e *Engine) ShuffleSurcharge() float64 {
+	if e.prof.ShuffleFactor <= 0 {
+		return 1
+	}
+	return e.prof.ShuffleFactor
+}
+
+// CrossBlowup returns the engine's cartesian working-set multiplier (≥ 1).
+func (e *Engine) CrossBlowup() float64 {
+	if e.prof.CrossJoinBlowup <= 0 {
+		return 1
+	}
+	return e.prof.CrossJoinBlowup
+}

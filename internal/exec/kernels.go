@@ -1,0 +1,484 @@
+// Package exec implements the operator semantics of the Musketeer IR: one
+// executable kernel per operator type, a DAG interpreter, and the dynamic
+// WHILE-loop driver.
+//
+// Every back-end engine executes its generated jobs through these kernels,
+// so a single source of truth defines what each operator computes; the
+// engines differ in *how* work is split into jobs, what gets materialized
+// where, and what the simulated execution costs. This mirrors the paper's
+// property that all back-ends implement the same operator set and lets the
+// test suite assert cross-engine result equality.
+package exec
+
+import (
+	"fmt"
+
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// EvalPred evaluates a predicate against a row.
+func EvalPred(p *ir.Pred, schema relation.Schema, row relation.Row) (bool, error) {
+	if p == nil {
+		return true, nil
+	}
+	switch p.Kind {
+	case ir.PredAnd:
+		l, err := EvalPred(p.Left, schema, row)
+		if err != nil || !l {
+			return false, err
+		}
+		return EvalPred(p.Right, schema, row)
+	case ir.PredOr:
+		l, err := EvalPred(p.Left, schema, row)
+		if err != nil || l {
+			return l, err
+		}
+		return EvalPred(p.Right, schema, row)
+	default:
+		lhs, err := operandValue(p.LHS, schema, row)
+		if err != nil {
+			return false, err
+		}
+		rhs, err := operandValue(p.RHS, schema, row)
+		if err != nil {
+			return false, err
+		}
+		return p.Cmp.Eval(lhs.Compare(rhs)), nil
+	}
+}
+
+func operandValue(o ir.Operand, schema relation.Schema, row relation.Row) (relation.Value, error) {
+	if !o.IsCol {
+		return o.Lit, nil
+	}
+	i := schema.Index(o.Col)
+	if i < 0 {
+		return relation.Value{}, fmt.Errorf("exec: unknown column %q in %s", o.Col, schema)
+	}
+	v := row[i]
+	if o.Scale != 0 && o.Scale != 1 {
+		v = relation.Float(v.AsFloat() * o.Scale)
+	}
+	return v, nil
+}
+
+// EvalOp executes a single non-WHILE operator on its input relations.
+// The output relation is named op.Out and inherits a logical size scaled by
+// the dominant input's scale ratio (see relation.Relation.LogicalBytes).
+func EvalOp(op *ir.Op, inputs []*relation.Relation) (*relation.Relation, error) {
+	// Build a transient schema map from the actual inputs so EvalOp can be
+	// used standalone (engines evaluate fragments operator by operator).
+	schemas := make(map[*ir.Op]relation.Schema)
+	for i, in := range op.Inputs {
+		if i < len(inputs) {
+			schemas[in] = inputs[i].Schema
+		}
+	}
+	outSchema, err := ir.OutputSchema(op, schemas)
+	if err != nil {
+		return nil, err
+	}
+	out := relation.New(op.Out, outSchema)
+
+	switch op.Type {
+	case ir.OpInput:
+		return nil, fmt.Errorf("exec: INPUT %s must be resolved from storage, not evaluated", op)
+
+	case ir.OpSelect:
+		in := inputs[0]
+		if len(in.Rows) >= ParallelThreshold {
+			rows, err := parallelFilter(in.Rows, func(row relation.Row) (bool, error) {
+				return EvalPred(op.Params.Pred, in.Schema, row)
+			})
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = rows
+			break
+		}
+		for _, row := range in.Rows {
+			ok, err := EvalPred(op.Params.Pred, in.Schema, row)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out.Rows = append(out.Rows, row)
+			}
+		}
+
+	case ir.OpProject:
+		in := inputs[0]
+		idx := make([]int, len(op.Params.Columns))
+		for i, col := range op.Params.Columns {
+			idx[i] = in.Schema.Index(col)
+		}
+		for _, row := range in.Rows {
+			nr := make(relation.Row, len(idx))
+			for i, j := range idx {
+				nr[i] = row[j]
+			}
+			out.Rows = append(out.Rows, nr)
+		}
+
+	case ir.OpUnion:
+		out.Rows = append(out.Rows, inputs[0].Rows...)
+		out.Rows = append(out.Rows, inputs[1].Rows...)
+
+	case ir.OpIntersect:
+		right := rowSet(inputs[1])
+		seen := make(map[string]bool)
+		for _, row := range inputs[0].Rows {
+			k := row.Key(allCols(inputs[0]))
+			if right[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+
+	case ir.OpDifference:
+		right := rowSet(inputs[1])
+		seen := make(map[string]bool)
+		for _, row := range inputs[0].Rows {
+			k := row.Key(allCols(inputs[0]))
+			if !right[k] && !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+
+	case ir.OpJoin:
+		if err := evalJoin(op, inputs, out); err != nil {
+			return nil, err
+		}
+
+	case ir.OpCrossJoin:
+		l, r := inputs[0], inputs[1]
+		for _, lr := range l.Rows {
+			for _, rr := range r.Rows {
+				nr := make(relation.Row, 0, len(lr)+len(rr))
+				nr = append(nr, lr...)
+				nr = append(nr, rr...)
+				out.Rows = append(out.Rows, nr)
+			}
+		}
+
+	case ir.OpAgg:
+		if err := evalAgg(op, inputs[0], out); err != nil {
+			return nil, err
+		}
+
+	case ir.OpArith:
+		if err := evalArith(op, inputs[0], out); err != nil {
+			return nil, err
+		}
+
+	case ir.OpDistinct:
+		seen := make(map[string]bool, len(inputs[0].Rows))
+		cols := allCols(inputs[0])
+		for _, row := range inputs[0].Rows {
+			k := row.Key(cols)
+			if !seen[k] {
+				seen[k] = true
+				out.Rows = append(out.Rows, row)
+			}
+		}
+
+	case ir.OpSort:
+		idx := make([]int, len(op.Params.SortBy))
+		for i, c := range op.Params.SortBy {
+			idx[i] = inputs[0].Schema.Index(c)
+		}
+		out.Rows = sortRowsBy(inputs[0].Rows, idx, op.Params.Desc)
+
+	case ir.OpLimit:
+		n := op.Params.Limit
+		if n > len(inputs[0].Rows) {
+			n = len(inputs[0].Rows)
+		}
+		out.Rows = append(out.Rows, inputs[0].Rows[:n]...)
+
+	case ir.OpUDF:
+		udf, ok := udfs[op.Params.UDFName]
+		if !ok {
+			return nil, fmt.Errorf("exec: unregistered UDF %q", op.Params.UDFName)
+		}
+		res, err := udf.Fn(inputs)
+		if err != nil {
+			return nil, fmt.Errorf("exec: UDF %q: %w", op.Params.UDFName, err)
+		}
+		out.Rows = res.Rows
+		out.Schema = res.Schema
+
+	case ir.OpWhile:
+		return nil, fmt.Errorf("exec: WHILE %s must be driven by RunWhile", op)
+
+	default:
+		return nil, fmt.Errorf("exec: unknown operator %s", op)
+	}
+
+	propagateScale(out, inputs)
+	return out, nil
+}
+
+// propagateScale stamps the output's logical size: physical bytes times the
+// dominant (maximum) input scale ratio. Workload generators downscale all
+// inputs by a common factor, so this keeps logical volumes consistent as
+// data flows through the workflow.
+func propagateScale(out *relation.Relation, inputs []*relation.Relation) {
+	ratio := 1.0
+	for _, in := range inputs {
+		if r := in.ScaleRatio(); r > ratio {
+			ratio = r
+		}
+	}
+	if ratio > 1 {
+		out.LogicalBytes = int64(float64(out.PhysicalBytes()) * ratio)
+	}
+}
+
+func allCols(r *relation.Relation) []int {
+	cols := make([]int, r.Schema.Arity())
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
+func rowSet(r *relation.Relation) map[string]bool {
+	set := make(map[string]bool, len(r.Rows))
+	cols := allCols(r)
+	for _, row := range r.Rows {
+		set[row.Key(cols)] = true
+	}
+	return set
+}
+
+func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) error {
+	l, r := inputs[0], inputs[1]
+	lIdx := make([]int, len(op.Params.LeftCols))
+	for i, c := range op.Params.LeftCols {
+		j := l.Schema.Index(c)
+		if j < 0 {
+			return fmt.Errorf("exec: %s: unknown left key %q", op, c)
+		}
+		lIdx[i] = j
+	}
+	rIdx := make([]int, len(op.Params.RightCols))
+	rKeyCol := make(map[int]bool)
+	for i, c := range op.Params.RightCols {
+		j := r.Schema.Index(c)
+		if j < 0 {
+			return fmt.Errorf("exec: %s: unknown right key %q", op, c)
+		}
+		rIdx[i] = j
+		rKeyCol[j] = true
+	}
+	rKeep := make([]int, 0, r.Schema.Arity())
+	for i := 0; i < r.Schema.Arity(); i++ {
+		if !rKeyCol[i] {
+			rKeep = append(rKeep, i)
+		}
+	}
+	// Hash join: build on the right input, probe with the left. Probing is
+	// embarrassingly parallel; the build table is read-only once complete.
+	build := make(map[string][]relation.Row, len(r.Rows))
+	for _, row := range r.Rows {
+		build[row.Key(rIdx)] = append(build[row.Key(rIdx)], row)
+	}
+	emit := func(lr relation.Row, matches []relation.Row, acc []relation.Row) []relation.Row {
+		for _, rr := range matches {
+			nr := make(relation.Row, 0, len(lr)+len(rKeep))
+			nr = append(nr, lr...)
+			for _, j := range rKeep {
+				nr = append(nr, rr[j])
+			}
+			acc = append(acc, nr)
+		}
+		return acc
+	}
+	if len(l.Rows) >= ParallelThreshold {
+		out.Rows = parallelProbe(l.Rows, lIdx, build, emit)
+		return nil
+	}
+	for _, lr := range l.Rows {
+		out.Rows = emit(lr, build[lr.Key(lIdx)], out.Rows)
+	}
+	return nil
+}
+
+type aggState struct {
+	key   relation.Row
+	sum   []relation.Value
+	count []int64
+	min   []relation.Value
+	max   []relation.Value
+	n     int64
+	armed []bool // whether min/max have seen a value
+}
+
+// newAggState initializes a group's state from its first row.
+func newAggState(row relation.Row, gIdx, aIdx []int) *aggState {
+	st := &aggState{
+		key:   make(relation.Row, len(gIdx)),
+		sum:   make([]relation.Value, len(aIdx)),
+		count: make([]int64, len(aIdx)),
+		min:   make([]relation.Value, len(aIdx)),
+		max:   make([]relation.Value, len(aIdx)),
+		armed: make([]bool, len(aIdx)),
+	}
+	for i, j := range gIdx {
+		st.key[i] = row[j]
+	}
+	for i, j := range aIdx {
+		if j >= 0 {
+			st.sum[i] = relation.Float(0)
+			st.min[i] = row[j]
+			st.max[i] = row[j]
+			st.armed[i] = true
+		}
+	}
+	return st
+}
+
+// accumulate folds one row into the state.
+func (st *aggState) accumulate(row relation.Row, aIdx []int) {
+	st.n++
+	for i, j := range aIdx {
+		if j < 0 {
+			continue
+		}
+		v := row[j]
+		st.sum[i] = st.sum[i].Add(v)
+		st.count[i]++
+		if v.Compare(st.min[i]) < 0 {
+			st.min[i] = v
+		}
+		if v.Compare(st.max[i]) > 0 {
+			st.max[i] = v
+		}
+	}
+}
+
+// merge folds a partial state for the same group into st — the combiner
+// step: every aggregator is associative in this decomposed form.
+func (st *aggState) merge(o *aggState) {
+	st.n += o.n
+	for i := range st.sum {
+		if !o.armed[i] {
+			continue
+		}
+		st.sum[i] = st.sum[i].Add(o.sum[i])
+		st.count[i] += o.count[i]
+		if !st.armed[i] || o.min[i].Compare(st.min[i]) < 0 {
+			st.min[i] = o.min[i]
+		}
+		if !st.armed[i] || o.max[i].Compare(st.max[i]) > 0 {
+			st.max[i] = o.max[i]
+		}
+		st.armed[i] = true
+	}
+}
+
+func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
+	gIdx := make([]int, len(op.Params.GroupBy))
+	for i, c := range op.Params.GroupBy {
+		j := in.Schema.Index(c)
+		if j < 0 {
+			return fmt.Errorf("exec: %s: unknown group-by column %q", op, c)
+		}
+		gIdx[i] = j
+	}
+	aIdx := make([]int, len(op.Params.Aggs))
+	for i, a := range op.Params.Aggs {
+		if a.Func == ir.AggCount {
+			aIdx[i] = -1
+			continue
+		}
+		j := in.Schema.Index(a.Col)
+		if j < 0 {
+			return fmt.Errorf("exec: %s: unknown aggregation column %q", op, a.Col)
+		}
+		aIdx[i] = j
+	}
+	// Combiner-style evaluation: every supported aggregator is associative
+	// once AVG is decomposed into SUM+COUNT (the decomposition Musketeer's
+	// generated GROUP BY uses, §6.2), so large inputs aggregate per chunk
+	// in parallel and the partial states merge.
+	groups, order := aggregateChunk(in.Rows, gIdx, aIdx)
+	if len(in.Rows) >= ParallelThreshold {
+		groups, order = parallelAggregate(in.Rows, gIdx, aIdx)
+	}
+	// An empty-group-by aggregation over an empty input still yields one
+	// row of zeros/identities in SQL semantics; we match that so AVG/COUNT
+	// pipelines stay total.
+	if len(in.Rows) == 0 && len(gIdx) == 0 {
+		row := make(relation.Row, len(op.Params.Aggs))
+		for i, a := range op.Params.Aggs {
+			if a.Func == ir.AggCount {
+				row[i] = relation.Int(0)
+			} else {
+				row[i] = relation.Float(0)
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		return nil
+	}
+	for _, k := range order {
+		st := groups[k]
+		row := make(relation.Row, 0, len(gIdx)+len(op.Params.Aggs))
+		row = append(row, st.key...)
+		for i, a := range op.Params.Aggs {
+			switch a.Func {
+			case ir.AggCount:
+				row = append(row, relation.Int(st.n))
+			case ir.AggSum:
+				v := st.sum[i]
+				// Keep integer sums integral.
+				if j := aIdx[i]; j >= 0 && in.Schema.Cols[j].Kind == relation.KindInt {
+					v = relation.Int(int64(v.AsFloat()))
+				}
+				row = append(row, v)
+			case ir.AggMin:
+				row = append(row, st.min[i])
+			case ir.AggMax:
+				row = append(row, st.max[i])
+			case ir.AggAvg:
+				if st.count[i] == 0 {
+					row = append(row, relation.Float(0))
+				} else {
+					row = append(row, relation.Float(st.sum[i].AsFloat()/float64(st.count[i])))
+				}
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return nil
+}
+
+func evalArith(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
+	dstIdx := in.Schema.Index(op.Params.Dst)
+	inPlace := dstIdx >= 0
+	for _, row := range in.Rows {
+		l, err := operandValue(op.Params.ALeft, in.Schema, row)
+		if err != nil {
+			return err
+		}
+		r, err := operandValue(op.Params.ARght, in.Schema, row)
+		if err != nil {
+			return err
+		}
+		v := op.Params.AOp.Apply(l, r)
+		if inPlace {
+			nr := row.Clone()
+			nr[dstIdx] = v
+			out.Rows = append(out.Rows, nr)
+		} else {
+			nr := make(relation.Row, 0, len(row)+1)
+			nr = append(nr, row...)
+			nr = append(nr, v)
+			out.Rows = append(out.Rows, nr)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,94 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// Micro-benchmarks for the shared operator kernels (the per-row machinery
+// every simulated engine executes). Run with:
+//
+//	go test -bench=Kernel ./internal/exec -benchmem
+
+func benchRelation(rows, keys int) *relation.Relation {
+	rel := relation.New("b", relation.NewSchema("k:int", "v:int", "w:float"))
+	for i := 0; i < rows; i++ {
+		rel.MustAppend(relation.Row{
+			relation.Int(int64(i % keys)),
+			relation.Int(int64(i)),
+			relation.Float(float64(i) * 0.5),
+		})
+	}
+	return rel
+}
+
+func benchOp(b *testing.B, typ ir.OpType, params ir.Params, inputs ...*relation.Relation) {
+	b.Helper()
+	d := ir.NewDAG()
+	ops := make([]*ir.Op, len(inputs))
+	for i, in := range inputs {
+		ops[i] = d.AddInput(fmt.Sprintf("in%d", i), "in", in.Schema)
+	}
+	op := d.Add(typ, "out", params, ops...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvalOp(op, inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKernelSelect(b *testing.B) {
+	in := benchRelation(20000, 64)
+	benchOp(b, ir.OpSelect, ir.Params{
+		Pred: ir.Cmp(ir.ColRef("v"), ir.CmpLt, ir.LitOp(relation.Int(10000))),
+	}, in)
+}
+
+func BenchmarkKernelProject(b *testing.B) {
+	in := benchRelation(20000, 64)
+	benchOp(b, ir.OpProject, ir.Params{Columns: []string{"k", "w"}}, in)
+}
+
+func BenchmarkKernelHashJoin(b *testing.B) {
+	left := benchRelation(20000, 256)
+	right := benchRelation(2000, 256)
+	benchOp(b, ir.OpJoin, ir.Params{LeftCols: []string{"k"}, RightCols: []string{"k"}}, left, right)
+}
+
+func BenchmarkKernelAgg(b *testing.B) {
+	in := benchRelation(20000, 128)
+	benchOp(b, ir.OpAgg, ir.Params{
+		GroupBy: []string{"k"},
+		Aggs: []ir.AggSpec{
+			{Func: ir.AggSum, Col: "v", As: "s"},
+			{Func: ir.AggMax, Col: "w", As: "hi"},
+		},
+	}, in)
+}
+
+func BenchmarkKernelAggParallel(b *testing.B) {
+	old := ParallelThreshold
+	ParallelThreshold = 1
+	defer func() { ParallelThreshold = old }()
+	in := benchRelation(20000, 128)
+	benchOp(b, ir.OpAgg, ir.Params{
+		GroupBy: []string{"k"},
+		Aggs:    []ir.AggSpec{{Func: ir.AggSum, Col: "v", As: "s"}},
+	}, in)
+}
+
+func BenchmarkKernelDistinct(b *testing.B) {
+	in := benchRelation(20000, 5000)
+	benchOp(b, ir.OpDistinct, ir.Params{}, in)
+}
+
+func BenchmarkKernelArith(b *testing.B) {
+	in := benchRelation(20000, 64)
+	benchOp(b, ir.OpArith, ir.Params{
+		Dst: "w", ALeft: ir.ColRef("w"), ARght: ir.LitOp(relation.Float(0.85)), AOp: ir.ArithMul,
+	}, in)
+}

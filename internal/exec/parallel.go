@@ -1,0 +1,154 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+
+	"musketeer/internal/relation"
+)
+
+// ParallelThreshold is the row count above which the data-parallel kernels
+// split work across goroutines. Physical samples in this repository are
+// usually small, so the default only engages for larger inputs; tests lower
+// it to exercise the parallel paths.
+var ParallelThreshold = 4096
+
+// chunkRanges splits [0, n) into roughly GOMAXPROCS contiguous ranges.
+func chunkRanges(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	var ranges [][2]int
+	size := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	return ranges
+}
+
+// parallelFilter evaluates keep() over row chunks concurrently and
+// concatenates the survivors in input order, so the result is identical to
+// the serial evaluation. The first error wins.
+func parallelFilter(rows []relation.Row, keep func(relation.Row) (bool, error)) ([]relation.Row, error) {
+	ranges := chunkRanges(len(rows))
+	results := make([][]relation.Row, len(ranges))
+	errs := make([]error, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i int, lo, hi int) {
+			defer wg.Done()
+			var out []relation.Row
+			for _, row := range rows[lo:hi] {
+				ok, err := keep(row)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if ok {
+					out = append(out, row)
+				}
+			}
+			results[i] = out
+		}(i, rg[0], rg[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var out []relation.Row
+	for _, chunk := range results {
+		out = append(out, chunk...)
+	}
+	return out, nil
+}
+
+// aggregateChunk builds per-group aggregation state over a row slice,
+// returning the states and the keys in first-appearance order.
+func aggregateChunk(rows []relation.Row, gIdx, aIdx []int) (map[string]*aggState, []string) {
+	groups := make(map[string]*aggState)
+	var order []string
+	for _, row := range rows {
+		k := row.Key(gIdx)
+		st, ok := groups[k]
+		if !ok {
+			st = newAggState(row, gIdx, aIdx)
+			groups[k] = st
+			order = append(order, k)
+		}
+		st.accumulate(row, aIdx)
+	}
+	return groups, order
+}
+
+// parallelAggregate computes partial aggregates per chunk concurrently and
+// merges them in chunk order, which preserves the serial first-appearance
+// output order (chunks are contiguous input ranges).
+func parallelAggregate(rows []relation.Row, gIdx, aIdx []int) (map[string]*aggState, []string) {
+	ranges := chunkRanges(len(rows))
+	partGroups := make([]map[string]*aggState, len(ranges))
+	partOrder := make([][]string, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partGroups[i], partOrder[i] = aggregateChunk(rows[lo:hi], gIdx, aIdx)
+		}(i, rg[0], rg[1])
+	}
+	wg.Wait()
+	groups := make(map[string]*aggState)
+	var order []string
+	for i := range ranges {
+		for _, k := range partOrder[i] {
+			st, ok := groups[k]
+			if !ok {
+				groups[k] = partGroups[i][k]
+				order = append(order, k)
+				continue
+			}
+			st.merge(partGroups[i][k])
+		}
+	}
+	return groups, order
+}
+
+// parallelProbe probes a pre-built hash table with left-row chunks
+// concurrently; emit builds the output rows for one probe match list.
+// Output preserves input order (chunk concatenation).
+func parallelProbe(left []relation.Row, lIdx []int, build map[string][]relation.Row,
+	emit func(l relation.Row, matches []relation.Row, out []relation.Row) []relation.Row) []relation.Row {
+	ranges := chunkRanges(len(left))
+	results := make([][]relation.Row, len(ranges))
+	var wg sync.WaitGroup
+	for i, rg := range ranges {
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			var out []relation.Row
+			for _, lr := range left[lo:hi] {
+				out = emit(lr, build[lr.Key(lIdx)], out)
+			}
+			results[i] = out
+		}(i, rg[0], rg[1])
+	}
+	wg.Wait()
+	var out []relation.Row
+	for _, chunk := range results {
+		out = append(out, chunk...)
+	}
+	return out
+}

@@ -1,0 +1,262 @@
+package beer
+
+import (
+	"math"
+	"testing"
+
+	"musketeer/internal/exec"
+	"musketeer/internal/frontends"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+func catalog() frontends.Catalog {
+	return frontends.Catalog{
+		"purchases": {Path: "in/purchases", Schema: relation.NewSchema("uid:int", "region:string", "value:float")},
+		"vertices":  {Path: "in/vertices", Schema: relation.NewSchema("vertex:int", "rank:float")},
+		"edges":     {Path: "in/edges", Schema: relation.NewSchema("src:int", "dst:int", "degree:int")},
+		"a":         {Path: "in/a", Schema: relation.NewSchema("x:int")},
+		"b":         {Path: "in/b", Schema: relation.NewSchema("x:int")},
+	}
+}
+
+const topShopper = `
+# top-shopper (paper §6.5): filter by region, aggregate by user, threshold.
+eu      = SELECT * FROM purchases WHERE region == "EU";
+totals  = AGG SUM(value) AS total FROM eu GROUP BY uid;
+top     = SELECT * FROM totals WHERE total > 100;
+`
+
+func TestTopShopperParsesAndRuns(t *testing.T) {
+	dag, err := Parse(topShopper, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.ByOut("top") == nil || dag.ByOut("totals").Type != ir.OpAgg {
+		t.Fatalf("unexpected DAG:\n%s", dag)
+	}
+	purchases := relation.New("purchases", catalog()["purchases"].Schema)
+	rows := []struct {
+		uid    int64
+		region string
+		value  float64
+	}{
+		{1, "EU", 80}, {1, "EU", 30}, {2, "EU", 50}, {3, "US", 500},
+	}
+	for _, r := range rows {
+		purchases.MustAppend(relation.Row{relation.Int(r.uid), relation.Str(r.region), relation.Float(r.value)})
+	}
+	env, _, err := exec.RunDAG(dag, exec.Env{"purchases": purchases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := env["top"]
+	if top.NumRows() != 1 || top.Rows[0][0].I != 1 {
+		t.Errorf("top = %v", top.Rows)
+	}
+}
+
+const pageRank = `
+final = WHILE (iteration < 5) CARRY vertices = new_vertices {
+    sent     = JOIN vertices, edges ON vertex = src;
+    shared   = DIV [rank, degree] FROM sent;
+    gathered = AGG SUM(rank) AS rank FROM shared GROUP BY dst;
+    damped   = MUL [rank, 0.85] FROM gathered;
+    applied  = SUM [rank, 0.15] FROM damped;
+    new_vertices = PROJECT dst AS vertex, rank FROM applied;
+};
+`
+
+func TestPageRankWhileParses(t *testing.T) {
+	dag, err := Parse(pageRank, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("final")
+	if w == nil || w.Type != ir.OpWhile {
+		t.Fatalf("no WHILE:\n%s", dag)
+	}
+	if w.Params.MaxIter != 5 {
+		t.Errorf("MaxIter = %d", w.Params.MaxIter)
+	}
+	if len(w.Inputs) != 2 {
+		t.Errorf("while inputs = %v", w.Inputs)
+	}
+	if ir.DetectGraphIdiom(w) == nil {
+		t.Error("graph idiom not detected in BEER PageRank — idiom recognition on a relational front-end is the paper's §4.3.1 claim")
+	}
+}
+
+func TestPageRankBEERExecution(t *testing.T) {
+	dag, err := Parse(pageRank, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := relation.New("edges", catalog()["edges"].Schema)
+	edges.MustAppend(relation.Row{relation.Int(1), relation.Int(2), relation.Int(1)})
+	edges.MustAppend(relation.Row{relation.Int(2), relation.Int(1), relation.Int(1)})
+	vertices := relation.New("vertices", catalog()["vertices"].Schema)
+	vertices.MustAppend(relation.Row{relation.Int(1), relation.Float(1)})
+	vertices.MustAppend(relation.Row{relation.Int(2), relation.Float(1)})
+	env, trace, err := exec.RunDAG(dag, exec.Env{"edges": edges, "vertices": vertices})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("final")
+	if trace.Iterations[w.ID] != 5 {
+		t.Errorf("iterations = %d", trace.Iterations[w.ID])
+	}
+	for _, r := range env["final"].Rows {
+		if math.Abs(r[1].F-1.0) > 1e-9 {
+			t.Errorf("rank = %v, want 1.0 (symmetric cycle)", r)
+		}
+	}
+}
+
+func TestUntilEmptyLoop(t *testing.T) {
+	src := `
+done = WHILE (iteration < 50) CARRY a = next UNTILEMPTY pending {
+    next    = SUB [x, 1] FROM a;
+    pending = SELECT * FROM next WHERE x > 0;
+};
+`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := relation.New("a", relation.NewSchema("x:int"))
+	a.MustAppend(relation.Row{relation.Int(4)})
+	env, trace, err := exec.RunDAG(dag, exec.Env{"a": a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("done")
+	if trace.Iterations[w.ID] != 4 {
+		t.Errorf("iterations = %d, want 4", trace.Iterations[w.ID])
+	}
+	if env["done"].Rows[0][0].I != 0 {
+		t.Errorf("final = %v", env["done"].Rows)
+	}
+}
+
+func TestSetOpsAndDistinct(t *testing.T) {
+	src := `
+u = UNION a, b;
+i = INTERSECT a, b;
+d = DIFFERENCE a, b;
+dd = DISTINCT u;
+`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, typ := range map[string]ir.OpType{
+		"u": ir.OpUnion, "i": ir.OpIntersect, "d": ir.OpDifference, "dd": ir.OpDistinct,
+	} {
+		if op := dag.ByOut(name); op == nil || op.Type != typ {
+			t.Errorf("%s = %v", name, op)
+		}
+	}
+}
+
+func TestCrossAndProjectRename(t *testing.T) {
+	src := `
+c = CROSS a, b;
+p = PROJECT x AS left_x FROM a;
+`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.ByOut("c").Type != ir.OpCrossJoin {
+		t.Error("cross missing")
+	}
+	p := dag.ByOut("p")
+	if p.Params.As[0] != "left_x" {
+		t.Errorf("rename = %v", p.Params)
+	}
+}
+
+func TestArithNewColumn(t *testing.T) {
+	src := `v2 = MUL [value, 2] AS doubled FROM purchases;`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := dag.ByOut("v2")
+	if op.Params.Dst != "doubled" || op.Params.AOp != ir.ArithMul {
+		t.Errorf("params = %+v", op.Params)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown rel":      `x = SELECT * FROM nope WHERE a > 1;`,
+		"redefined":        "x = DISTINCT a;\nx = DISTINCT b;",
+		"bad op":           `x = FROBNICATE a;`,
+		"while no carry":   `x = WHILE (iteration < 3) { y = DISTINCT a; };`,
+		"while bad bound":  `x = WHILE (iteration < 0) CARRY a = y { y = DISTINCT a; };`,
+		"unterminated":     `x = WHILE (iteration < 3) CARRY a = y { y = DISTINCT a;`,
+		"missing semi":     `x = DISTINCT a`,
+		"select star noop": `x = SELECT * FROM a;`,
+		"agg unknown func": `x = AGG MEDIAN(v) AS m FROM a;`,
+		"arith lit target": `x = MUL [1, 2] FROM a;`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, catalog()); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+}
+
+func TestNestedScopeResolution(t *testing.T) {
+	// Body references both an outer intermediate and a catalog table.
+	src := `
+eu = SELECT * FROM purchases WHERE region == "EU";
+w = WHILE (iteration < 2) CARRY eu = nxt {
+    j   = JOIN eu, a ON uid = x;
+    nxt = PROJECT uid, region, value FROM j;
+};
+`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("w")
+	if len(w.Inputs) != 2 {
+		t.Fatalf("while inputs = %d, want 2 (eu + a)", len(w.Inputs))
+	}
+}
+
+func TestSortLimitTopN(t *testing.T) {
+	src := `
+totals = AGG SUM(value) AS total FROM purchases GROUP BY uid;
+ranked = SORT totals BY total DESC;
+top3   = LIMIT ranked 3;
+`
+	dag, err := Parse(src, catalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.ByOut("ranked").Type != ir.OpSort || !dag.ByOut("ranked").Params.Desc {
+		t.Errorf("ranked = %+v", dag.ByOut("ranked"))
+	}
+	if dag.ByOut("top3").Params.Limit != 3 {
+		t.Errorf("top3 = %+v", dag.ByOut("top3").Params)
+	}
+	purchases := relation.New("purchases", catalog()["purchases"].Schema)
+	for i := int64(0); i < 20; i++ {
+		purchases.MustAppend(relation.Row{relation.Int(i % 5), relation.Str("EU"), relation.Float(float64(10 * (i + 1)))})
+	}
+	env, _, err := exec.RunDAG(dag, exec.Env{"purchases": purchases})
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := env["top3"]
+	if top.NumRows() != 3 {
+		t.Fatalf("top3 rows = %d", top.NumRows())
+	}
+	if top.Rows[0][1].F < top.Rows[1][1].F || top.Rows[1][1].F < top.Rows[2][1].F {
+		t.Errorf("not descending: %v", top.Rows)
+	}
+}

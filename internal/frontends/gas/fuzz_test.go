@@ -1,0 +1,36 @@
+package gas
+
+import (
+	"testing"
+
+	"musketeer/internal/frontends"
+	"musketeer/internal/relation"
+)
+
+// FuzzParse asserts the GAS parser never panics and never returns an
+// invalid DAG on arbitrary input.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		listing2,
+		"GATHER = { MIN(vertex_value) }\nSCATTER = { SUM [vertex_value, cost] }\nITERATION_STOP = (iteration < 4)",
+		"GATHER = { SUM(vertex_value) }\nITERATION_STOP = (iteration < 1)",
+		"GATHER = {",
+		"ITERATION_STOP = (iteration < x)",
+		"APPLY = { MUL [a, b] DIV [a, 2] SUB [a, 1] }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	cat := frontends.Catalog{
+		"vertices": {Path: "in/v", Schema: relation.NewSchema("vertex:int", "vertex_value:float")},
+		"edges":    {Path: "in/e", Schema: relation.NewSchema("src:int", "dst:int", "vertex_degree:int", "cost:float")},
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		dag, err := Parse(src, cat, Config{Vertices: "vertices", Edges: "edges"})
+		if err == nil {
+			if err := dag.Validate(); err != nil {
+				t.Fatalf("invalid DAG accepted: %v", err)
+			}
+		}
+	})
+}

@@ -1,0 +1,164 @@
+package gas
+
+import (
+	"math"
+	"testing"
+
+	"musketeer/internal/exec"
+	"musketeer/internal/frontends"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+func catalog() frontends.Catalog {
+	return frontends.Catalog{
+		"vertices": {Path: "in/vertices", Schema: relation.NewSchema("vertex:int", "vertex_value:float")},
+		"edges":    {Path: "in/edges", Schema: relation.NewSchema("src:int", "dst:int", "vertex_degree:int")},
+		"cedges":   {Path: "in/cedges", Schema: relation.NewSchema("src:int", "dst:int", "cost:float")},
+	}
+}
+
+// listing2 is the paper's Listing 2 PageRank program verbatim (modulo the
+// iteration bound).
+const listing2 = `
+GATHER = {
+    SUM(vertex_value)
+}
+APPLY = {
+    MUL [vertex_value, 0.85]
+    SUM [vertex_value, 0.15]
+}
+SCATTER = {
+    DIV [vertex_value, vertex_degree]
+}
+ITERATION_STOP = (iteration < 5)
+ITERATION = {
+    SUM [iteration, 1]
+}
+`
+
+func TestListing2Translates(t *testing.T) {
+	dag, err := Parse(listing2, catalog(), Config{Vertices: "vertices", Edges: "edges", Output: "ranks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("ranks")
+	if w == nil || w.Type != ir.OpWhile {
+		t.Fatalf("no WHILE in:\n%s", dag)
+	}
+	if w.Params.MaxIter != 5 {
+		t.Errorf("MaxIter = %d", w.Params.MaxIter)
+	}
+	idiom := ir.DetectGraphIdiom(w)
+	if idiom == nil {
+		t.Fatal("GAS translation must match the graph idiom by construction")
+	}
+	if idiom.Scatter.Type != ir.OpJoin || idiom.Gather.Type != ir.OpAgg {
+		t.Errorf("idiom roles: scatter=%v gather=%v", idiom.Scatter, idiom.Gather)
+	}
+}
+
+func TestListing2PageRankExecution(t *testing.T) {
+	dag, err := Parse(listing2, catalog(), Config{Vertices: "vertices", Edges: "edges", Output: "ranks"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 -> 2, 2 -> 1 with degree 1 each: ranks stay 1.0.
+	edges := relation.New("edges", catalog()["edges"].Schema)
+	edges.MustAppend(relation.Row{relation.Int(1), relation.Int(2), relation.Int(1)})
+	edges.MustAppend(relation.Row{relation.Int(2), relation.Int(1), relation.Int(1)})
+	vertices := relation.New("vertices", catalog()["vertices"].Schema)
+	vertices.MustAppend(relation.Row{relation.Int(1), relation.Float(1)})
+	vertices.MustAppend(relation.Row{relation.Int(2), relation.Float(1)})
+	env, _, err := exec.RunDAG(dag, exec.Env{"vertices": vertices, "edges": edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := env["ranks"]
+	if out.NumRows() != 2 {
+		t.Fatalf("ranks = %v", out.Rows)
+	}
+	for _, r := range out.Rows {
+		if math.Abs(r[1].F-1.0) > 1e-9 {
+			t.Errorf("rank %v, want 1.0", r)
+		}
+	}
+}
+
+// TestSSSPViaGAS runs min-plus propagation: SCATTER adds the edge cost,
+// GATHER takes the minimum. Self-loops with cost 0 keep settled distances.
+func TestSSSPViaGAS(t *testing.T) {
+	src := `
+GATHER = { MIN(vertex_value) }
+APPLY = { }
+SCATTER = { SUM [vertex_value, cost] }
+ITERATION_STOP = (iteration < 4)
+`
+	dag, err := Parse(src, catalog(), Config{Vertices: "vertices", Edges: "cedges", Output: "dists"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const inf = 1e18
+	edges := relation.New("cedges", catalog()["cedges"].Schema)
+	add := func(s, d int64, c float64) {
+		edges.MustAppend(relation.Row{relation.Int(s), relation.Int(d), relation.Float(c)})
+	}
+	// Path 1 -> 2 -> 3 plus a costly shortcut 1 -> 3; self loops keep state.
+	add(1, 2, 1)
+	add(2, 3, 1)
+	add(1, 3, 10)
+	for _, v := range []int64{1, 2, 3} {
+		add(v, v, 0)
+	}
+	vertices := relation.New("vertices", catalog()["vertices"].Schema)
+	vertices.MustAppend(relation.Row{relation.Int(1), relation.Float(0)})
+	vertices.MustAppend(relation.Row{relation.Int(2), relation.Float(inf)})
+	vertices.MustAppend(relation.Row{relation.Int(3), relation.Float(inf)})
+	env, _, err := exec.RunDAG(dag, exec.Env{"vertices": vertices, "cedges": edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int64]float64{1: 0, 2: 1, 3: 2}
+	for _, r := range env["dists"].Rows {
+		if math.Abs(r[1].F-want[r[0].I]) > 1e-9 {
+			t.Errorf("dist[%d] = %v, want %v", r[0].I, r[1].F, want[r[0].I])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no gather":      `APPLY = { } SCATTER = { } ITERATION_STOP = (iteration < 5)`,
+		"no stop":        `GATHER = { SUM(vertex_value) } SCATTER = { }`,
+		"dup section":    `GATHER = { SUM(v) } GATHER = { SUM(v) } ITERATION_STOP = (iteration < 5)`,
+		"agg in scatter": `GATHER = { SUM(v) } SCATTER = { SUM(v) } ITERATION_STOP = (iteration < 5)`,
+		"bad section":    `WIBBLE = { }`,
+		"bad agg":        `GATHER = { MEDIAN(v) } ITERATION_STOP = (iteration < 5)`,
+		"bad arith":      `GATHER = { SUM(vertex_value) } APPLY = { FOO [v, 1] } ITERATION_STOP = (iteration < 5)`,
+	}
+	for name, src := range cases {
+		if _, err := Parse(src, catalog(), Config{Vertices: "vertices", Edges: "edges"}); err == nil {
+			t.Errorf("%s: parse succeeded", name)
+		}
+	}
+	if _, err := Parse(listing2, catalog(), Config{Vertices: "missing", Edges: "edges"}); err == nil {
+		t.Error("missing vertices table accepted")
+	}
+	badCat := frontends.Catalog{
+		"vertices": {Path: "v", Schema: relation.NewSchema("a:int")},
+		"edges":    {Path: "e", Schema: relation.NewSchema("src:int", "dst:int")},
+	}
+	if _, err := Parse(listing2, badCat, Config{Vertices: "vertices", Edges: "edges"}); err == nil {
+		t.Error("bad vertex schema accepted")
+	}
+}
+
+func TestDefaultOutputName(t *testing.T) {
+	dag, err := Parse(listing2, catalog(), Config{Vertices: "vertices", Edges: "edges"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.ByOut("gas_result") == nil {
+		t.Error("default output name missing")
+	}
+}

@@ -1,0 +1,162 @@
+package lindi
+
+import (
+	"math"
+	"testing"
+
+	"musketeer/internal/exec"
+	"musketeer/internal/frontends"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+func catalog() frontends.Catalog {
+	return frontends.Catalog{
+		"properties": {Path: "in/properties", Schema: relation.NewSchema("id:int", "street:string", "town:string")},
+		"prices":     {Path: "in/prices", Schema: relation.NewSchema("id:int", "price:float")},
+		"vertices":   {Path: "in/vertices", Schema: relation.NewSchema("vertex:int", "rank:float")},
+		"edges":      {Path: "in/edges", Schema: relation.NewSchema("src:int", "dst:int", "degree:int")},
+	}
+}
+
+func TestMaxPropertyPriceBuilder(t *testing.T) {
+	b := NewBuilder(catalog())
+	locs := b.From("properties").Select("id", "street", "town").Named("locs")
+	locs.Join(b.From("prices"), []string{"id"}, []string{"id"}).Named("id_price").
+		GroupBy([]string{"street", "town"}).Max("price", "max_price").Done().
+		Named("street_price")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dag.ByOut("street_price").Type != ir.OpAgg {
+		t.Errorf("street_price: %v", dag.ByOut("street_price"))
+	}
+	if dag.ByOut("id_price").Type != ir.OpJoin {
+		t.Errorf("id_price: %v", dag.ByOut("id_price"))
+	}
+}
+
+func TestWhereComputeDistinct(t *testing.T) {
+	b := NewBuilder(catalog())
+	b.From("prices").
+		Where(ir.Cmp(ir.ColRef("price"), ir.CmpGt, ir.LitOp(relation.Float(100)))).
+		Compute("vat", ir.ColRef("price"), ir.ArithMul, ir.LitOp(relation.Float(0.2))).
+		Distinct().
+		Named("taxed")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	schemas, err := dag.InferSchemas()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := dag.ByOut("taxed")
+	if schemas[out].Index("vat") < 0 {
+		t.Errorf("schema = %s", schemas[out])
+	}
+}
+
+func TestSetOps(t *testing.T) {
+	b := NewBuilder(catalog())
+	a := b.From("prices").Select("id").Named("a1")
+	c := b.From("properties").Select("id").Named("c1")
+	a.Union(c).Named("u")
+	b.From("a1").Intersect(b.From("c1")).Named("i")
+	b.From("a1").Except(b.From("c1")).Named("d")
+	b.From("a1").Cross(b.From("c1")).Named("x")
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, typ := range map[string]ir.OpType{"u": ir.OpUnion, "i": ir.OpIntersect, "d": ir.OpDifference, "x": ir.OpCrossJoin} {
+		if op := dag.ByOut(name); op == nil || op.Type != typ {
+			t.Errorf("%s = %v", name, op)
+		}
+	}
+}
+
+func TestIteratePageRank(t *testing.T) {
+	b := NewBuilder(catalog())
+	b.Iterate("final", []string{"vertices", "edges"}, LoopSpec{
+		MaxIter: 5,
+		Carried: map[string]string{"vertices": "new_vertices"},
+	}, func(body *Builder) error {
+		body.From("vertices").
+			Join(body.From("edges"), []string{"vertex"}, []string{"src"}).
+			Compute("rank", ir.ColRef("rank"), ir.ArithDiv, ir.ColRef("degree")).
+			GroupBy([]string{"dst"}).Sum("rank", "rank").Done().
+			Compute("rank", ir.ColRef("rank"), ir.ArithMul, ir.LitOp(relation.Float(0.85))).
+			Compute("rank", ir.ColRef("rank"), ir.ArithAdd, ir.LitOp(relation.Float(0.15))).
+			SelectAs([]string{"dst", "rank"}, []string{"vertex", "rank"}).
+			Named("new_vertices")
+		return nil
+	})
+	dag, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := dag.ByOut("final")
+	if w.Type != ir.OpWhile || ir.DetectGraphIdiom(w) == nil {
+		t.Fatalf("bad while: %v", w)
+	}
+
+	edges := relation.New("edges", catalog()["edges"].Schema)
+	edges.MustAppend(relation.Row{relation.Int(1), relation.Int(2), relation.Int(1)})
+	edges.MustAppend(relation.Row{relation.Int(2), relation.Int(1), relation.Int(1)})
+	vertices := relation.New("vertices", catalog()["vertices"].Schema)
+	vertices.MustAppend(relation.Row{relation.Int(1), relation.Float(1)})
+	vertices.MustAppend(relation.Row{relation.Int(2), relation.Float(1)})
+	env, _, err := exec.RunDAG(dag, exec.Env{"vertices": vertices, "edges": edges})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range env["final"].Rows {
+		if math.Abs(r[1].F-1.0) > 1e-9 {
+			t.Errorf("rank = %v", r)
+		}
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	b := NewBuilder(catalog())
+	b.From("nope")
+	if _, err := b.Build(); err == nil {
+		t.Error("unknown table accepted")
+	}
+
+	b2 := NewBuilder(catalog())
+	b2.From("prices").Select("id").Named("x")
+	b2.From("properties").Select("id").Named("x")
+	if _, err := b2.Build(); err == nil {
+		t.Error("redefinition accepted")
+	}
+
+	b3 := NewBuilder(catalog())
+	if _, err := b3.Build(); err == nil {
+		t.Error("empty workflow accepted")
+	}
+
+	b4 := NewBuilder(catalog())
+	b4.Iterate("w", []string{"missing"}, LoopSpec{MaxIter: 2}, func(body *Builder) error { return nil })
+	if _, err := b4.Build(); err == nil {
+		t.Error("unknown loop input accepted")
+	}
+
+	b5 := NewBuilder(catalog())
+	other := NewBuilder(catalog())
+	b5.From("prices").Join(other.From("properties"), []string{"id"}, []string{"id"})
+	if _, err := b5.Build(); err == nil {
+		t.Error("cross-builder join accepted")
+	}
+}
+
+func TestErrorsShortCircuitChaining(t *testing.T) {
+	b := NewBuilder(catalog())
+	// Every call after the failure must be a safe no-op.
+	b.From("nope").Select("a").Where(nil).Distinct().Named("x")
+	if _, err := b.Build(); err == nil {
+		t.Error("error lost during chaining")
+	}
+}

@@ -1,0 +1,54 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders the DAG in Graphviz dot syntax for visual inspection
+// (`cmd/musketeer -dot | dot -Tsvg`). WHILE bodies render as subgraph
+// clusters; shuffle operators are shaded since they drive the MapReduce
+// job boundaries.
+func (d *DAG) DOT(name string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n", name)
+	d.dotBody(&b, "", "  ")
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (d *DAG) dotBody(b *strings.Builder, idPrefix, indent string) {
+	for _, op := range d.Ops {
+		attrs := ""
+		switch {
+		case op.Type == OpInput:
+			attrs = ", shape=cylinder"
+		case op.Type == OpWhile:
+			attrs = ", style=bold"
+		case IsShuffleOp(op.Type):
+			attrs = ", style=filled, fillcolor=lightgray"
+		}
+		fmt.Fprintf(b, "%s%q [label=\"%s\\n%s\"%s];\n",
+			indent, idPrefix+nodeID(op), op.Type, op.Out, attrs)
+		for _, in := range op.Inputs {
+			fmt.Fprintf(b, "%s%q -> %q;\n", indent, idPrefix+nodeID(in), idPrefix+nodeID(op))
+		}
+		if op.Params.Body != nil {
+			fmt.Fprintf(b, "%ssubgraph \"cluster_%s\" {\n%s  label=\"%s body (max %d iters)\";\n",
+				indent, op.Out, indent, op.Out, op.Params.MaxIter)
+			op.Params.Body.dotBody(b, op.Out+"/", indent+"  ")
+			fmt.Fprintf(b, "%s}\n", indent)
+			// Tie the loop operator to its body entry points.
+			for _, bop := range op.Params.Body.Ops {
+				if bop.Type == OpInput {
+					fmt.Fprintf(b, "%s%q -> %q [style=dashed];\n",
+						indent, idPrefix+nodeID(op), op.Out+"/"+nodeID(bop))
+				}
+			}
+		}
+	}
+}
+
+func nodeID(op *Op) string {
+	return fmt.Sprintf("op%d", op.ID)
+}

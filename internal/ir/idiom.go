@@ -1,0 +1,72 @@
+package ir
+
+// GraphIdiom describes a vertex-oriented computation detected inside a
+// WHILE body (paper §4.3.1): a JOIN on the vertex column (the "scatter" /
+// message-send), followed — possibly through apply-step operators — by a
+// GROUP BY on the vertex column (the "gather" / message-receive). Any other
+// operators in the body form the "apply" step.
+type GraphIdiom struct {
+	While   *Op
+	Scatter *Op // the JOIN
+	Gather  *Op // the GROUP BY (OpAgg)
+}
+
+// DetectGraphIdiom inspects a WHILE operator and reports the graph idiom if
+// its body matches, or nil. Detection is sound but not complete (paper §8):
+// workloads that express graph traversal without the JOIN→GROUP BY shape —
+// e.g. triangle counting via repeated self-joins — are not recognized.
+func DetectGraphIdiom(while *Op) *GraphIdiom {
+	if while == nil || while.Type != OpWhile || while.Params.Body == nil {
+		return nil
+	}
+	body := while.Params.Body
+	cons := body.Consumers()
+	for _, op := range body.Ops {
+		if op.Type != OpJoin {
+			continue
+		}
+		// The JOIN must combine two distinct inputs (vertex state and
+		// edges), keyed on a single column on each side.
+		if len(op.Inputs) != 2 || op.Inputs[0] == op.Inputs[1] {
+			continue
+		}
+		if len(op.Params.LeftCols) != 1 || len(op.Params.RightCols) != 1 {
+			continue
+		}
+		if g := findGather(op, cons); g != nil {
+			return &GraphIdiom{While: while, Scatter: op, Gather: g}
+		}
+	}
+	return nil
+}
+
+// findGather follows the consumer chain from the scatter JOIN through
+// apply-step operators (arithmetic, projection, selection) to a GROUP BY on
+// a single vertex column.
+func findGather(from *Op, cons map[*Op][]*Op) *Op {
+	for _, c := range cons[from] {
+		switch c.Type {
+		case OpAgg:
+			if len(c.Params.GroupBy) == 1 {
+				return c
+			}
+		case OpArith, OpProject, OpSelect, OpDistinct:
+			if g := findGather(c, cons); g != nil {
+				return g
+			}
+		}
+	}
+	return nil
+}
+
+// IsGraphWorkflow reports whether the DAG's dominant computation is a
+// detected graph idiom: it contains a WHILE whose body matches. Used by the
+// automatic mapper and by GAS-only back-end validity checks.
+func (d *DAG) IsGraphWorkflow() bool {
+	for _, op := range d.Ops {
+		if op.Type == OpWhile && DetectGraphIdiom(op) != nil {
+			return true
+		}
+	}
+	return false
+}

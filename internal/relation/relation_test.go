@@ -1,0 +1,285 @@
+package relation
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindString} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("bogus"); err == nil {
+		t.Error("ParseKind(bogus) succeeded, want error")
+	}
+}
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Str("hello"), "hello"},
+		{Str(""), ""},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	vals := []Value{Int(0), Int(123456789), Int(-1), Float(0.125), Float(-3e10), Str("x y z")}
+	for _, v := range vals {
+		got, err := ParseValue(v.Kind, v.String())
+		if err != nil {
+			t.Fatalf("ParseValue(%v): %v", v, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue(KindInt, "abc"); err == nil {
+		t.Error("ParseValue(int, abc) succeeded")
+	}
+	if _, err := ParseValue(KindFloat, "abc"); err == nil {
+		t.Error("ParseValue(float, abc) succeeded")
+	}
+}
+
+func TestCompareCoercion(t *testing.T) {
+	if Int(2).Compare(Float(2.0)) != 0 {
+		t.Error("Int(2) should compare equal to Float(2.0)")
+	}
+	if Int(2).Compare(Float(2.5)) != -1 {
+		t.Error("Int(2) should be < Float(2.5)")
+	}
+	if Str("a").Compare(Int(999)) != 1 {
+		t.Error("strings sort after numbers")
+	}
+	if Str("a").Compare(Str("b")) != -1 {
+		t.Error("string ordering broken")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	if got := Int(3).Add(Int(4)); !got.Equal(Int(7)) {
+		t.Errorf("3+4 = %v", got)
+	}
+	if got := Int(3).Mul(Float(0.5)); !got.Equal(Float(1.5)) {
+		t.Errorf("3*0.5 = %v", got)
+	}
+	if got := Int(10).Sub(Int(4)); !got.Equal(Int(6)) {
+		t.Errorf("10-4 = %v", got)
+	}
+	if got := Float(1).Div(Float(4)); !got.Equal(Float(0.25)) {
+		t.Errorf("1/4 = %v", got)
+	}
+	if got := Float(1).Div(Int(0)); !got.Equal(Float(0)) {
+		t.Errorf("div by zero = %v, want 0", got)
+	}
+}
+
+func TestCompareAntisymmetryQuick(t *testing.T) {
+	f := func(a, b int64) bool {
+		return Int(a).Compare(Int(b)) == -Int(b).Compare(Int(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithCommutativityQuick(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := Int(int64(a)), Int(int64(b))
+		return x.Add(y).Equal(y.Add(x)) && x.Mul(y).Equal(y.Mul(x))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowKeyUnambiguous(t *testing.T) {
+	// ("ab","c") and ("a","bc") must have different keys.
+	r1 := Row{Str("ab"), Str("c")}
+	r2 := Row{Str("a"), Str("bc")}
+	if r1.Key([]int{0, 1}) == r2.Key([]int{0, 1}) {
+		t.Error("row keys collide for distinct rows")
+	}
+}
+
+func TestNewSchemaAndIndex(t *testing.T) {
+	s := NewSchema("uid:int", "price:float", "town:string")
+	if s.Arity() != 3 {
+		t.Fatalf("arity = %d", s.Arity())
+	}
+	if s.Index("price") != 1 {
+		t.Errorf("Index(price) = %d", s.Index("price"))
+	}
+	if s.Index("missing") != -1 {
+		t.Errorf("Index(missing) = %d", s.Index("missing"))
+	}
+	if _, err := s.MustIndex("missing"); err == nil {
+		t.Error("MustIndex(missing) succeeded")
+	}
+}
+
+func TestSchemaConcatRenames(t *testing.T) {
+	a := NewSchema("id:int", "v:int")
+	b := NewSchema("id:int", "w:int")
+	c := a.Concat(b)
+	if c.Arity() != 4 {
+		t.Fatalf("arity = %d", c.Arity())
+	}
+	if c.Index("r_id") != 2 {
+		t.Errorf("collision not renamed: %s", c)
+	}
+}
+
+func TestSchemaProject(t *testing.T) {
+	s := NewSchema("a:int", "b:float", "c:string")
+	p := s.Project([]int{2, 0})
+	want := NewSchema("c:string", "a:int")
+	if !p.Equal(want) {
+		t.Errorf("Project = %s, want %s", p, want)
+	}
+}
+
+func TestRelationAppendArity(t *testing.T) {
+	r := New("t", NewSchema("a:int"))
+	if err := r.Append(Row{Int(1), Int(2)}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if err := r.Append(Row{Int(1)}); err != nil {
+		t.Errorf("valid append rejected: %v", err)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	r := New("props", NewSchema("id:int", "price:float", "town:string"))
+	r.MustAppend(Row{Int(1), Float(250000.5), Str("Cambridge")})
+	r.MustAppend(Row{Int(2), Float(-1), Str("")})
+	r.LogicalBytes = 1 << 30
+
+	got, err := DecodeBytes("props", r.EncodeBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Schema.Equal(r.Schema) {
+		t.Errorf("schema %s != %s", got.Schema, r.Schema)
+	}
+	if got.LogicalBytes != r.LogicalBytes {
+		t.Errorf("logical %d != %d", got.LogicalBytes, r.LogicalBytes)
+	}
+	if got.Fingerprint() != r.Fingerprint() {
+		t.Errorf("rows differ:\n%s\nvs\n%s", got.Fingerprint(), r.Fingerprint())
+	}
+}
+
+func TestEncodeDecodeRoundTripQuick(t *testing.T) {
+	f := func(ids []int64, weights []float64) bool {
+		r := New("q", NewSchema("id:int", "w:float"))
+		n := len(ids)
+		if len(weights) < n {
+			n = len(weights)
+		}
+		for i := 0; i < n; i++ {
+			w := weights[i]
+			if math.IsNaN(w) || math.IsInf(w, 0) {
+				w = 0
+			}
+			r.MustAppend(Row{Int(ids[i]), Float(w)})
+		}
+		got, err := DecodeBytes("q", r.EncodeBytes())
+		if err != nil {
+			return false
+		}
+		return got.Fingerprint() == r.Fingerprint()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"no header\n",
+		"#schema\tbadspec\n#logical\t0\n",
+		"#schema\ta:int\nmissing logical\n",
+		"#schema\ta:int\n#logical\t0\n1\t2\n", // arity
+		"#schema\ta:int\n#logical\t0\nxyz\n",  // parse
+	}
+	for _, c := range cases {
+		if _, err := Decode("bad", strings.NewReader(c)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestScaleRatio(t *testing.T) {
+	r := New("t", NewSchema("a:int"))
+	r.MustAppend(Row{Int(12345)})
+	if r.ScaleRatio() != 1 {
+		t.Errorf("no logical size: ratio = %v", r.ScaleRatio())
+	}
+	phys := r.PhysicalBytes()
+	r.LogicalBytes = phys * 100
+	if got := r.ScaleRatio(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("ratio = %v, want 100", got)
+	}
+}
+
+func TestEffectiveBytes(t *testing.T) {
+	r := New("t", NewSchema("a:int"))
+	r.MustAppend(Row{Int(7)})
+	if r.EffectiveBytes() != r.PhysicalBytes() {
+		t.Error("effective should default to physical")
+	}
+	r.LogicalBytes = 999
+	if r.EffectiveBytes() != 999 {
+		t.Error("effective should use logical when set")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := New("t", NewSchema("a:int"))
+	r.MustAppend(Row{Int(1)})
+	c := r.Clone()
+	c.Rows[0][0] = Int(99)
+	if r.Rows[0][0].I != 1 {
+		t.Error("Clone shares row storage")
+	}
+}
+
+func TestSortRowsAndFingerprint(t *testing.T) {
+	r := New("t", NewSchema("a:int", "b:string"))
+	r.MustAppend(Row{Int(2), Str("b")})
+	r.MustAppend(Row{Int(1), Str("a")})
+	r.SortRows()
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("not sorted: %v", r.Rows)
+	}
+	// Fingerprint is order independent.
+	r2 := New("t", NewSchema("a:int", "b:string"))
+	r2.MustAppend(Row{Int(1), Str("a")})
+	r2.MustAppend(Row{Int(2), Str("b")})
+	if r.Fingerprint() != r2.Fingerprint() {
+		t.Error("fingerprint depends on row order")
+	}
+}

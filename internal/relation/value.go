@@ -1,0 +1,246 @@
+// Package relation implements the tabular data model shared by every layer
+// of Musketeer: typed values, rows, schemas and relations, plus the TSV
+// codecs used by the simulated distributed filesystem.
+//
+// All seven back-end execution engines operate on these types through the
+// shared kernels in internal/exec, which is what lets the test suite assert
+// that every engine computes identical results for the same IR fragment.
+package relation
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the IR's column algebra.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer column.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit IEEE-754 column.
+	KindFloat
+	// KindString is a UTF-8 string column.
+	KindString
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// ParseKind converts a kind name produced by Kind.String back to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "int":
+		return KindInt, nil
+	case "float":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	default:
+		return 0, fmt.Errorf("relation: unknown kind %q", s)
+	}
+}
+
+// Value is a single typed cell. The zero value is the integer 0.
+//
+// Value is a small struct rather than an interface so rows stay contiguous
+// in memory and comparisons avoid dynamic dispatch; this matters for the
+// join and group-by kernels that dominate workflow execution time.
+type Value struct {
+	Kind Kind
+	I    int64
+	F    float64
+	S    string
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{Kind: KindInt, I: i} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{Kind: KindFloat, F: f} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{Kind: KindString, S: s} }
+
+// AsFloat returns the numeric content of v, converting integers.
+// String values yield 0.
+func (v Value) AsFloat() float64 {
+	switch v.Kind {
+	case KindInt:
+		return float64(v.I)
+	case KindFloat:
+		return v.F
+	default:
+		return 0
+	}
+}
+
+// AsInt returns the numeric content of v truncated to an integer.
+func (v Value) AsInt() int64 {
+	switch v.Kind {
+	case KindInt:
+		return v.I
+	case KindFloat:
+		return int64(v.F)
+	default:
+		return 0
+	}
+}
+
+// String renders the value the way the TSV codec writes it.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return strconv.FormatInt(v.I, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	default:
+		return v.S
+	}
+}
+
+// ParseValue parses field text into a value of the given kind.
+func ParseValue(kind Kind, field string) (Value, error) {
+	switch kind {
+	case KindInt:
+		i, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse int %q: %w", field, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return Value{}, fmt.Errorf("relation: parse float %q: %w", field, err)
+		}
+		return Float(f), nil
+	default:
+		return Str(field), nil
+	}
+}
+
+// Equal reports whether two values are identical in kind and content.
+// An int and a float are never Equal even if numerically equivalent;
+// predicate evaluation uses Compare, which coerces numerics.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.I == o.I
+	case KindFloat:
+		return v.F == o.F
+	default:
+		return v.S == o.S
+	}
+}
+
+// Compare orders two values: -1 if v < o, 0 if equal, +1 if v > o.
+// Numeric kinds are coerced to float for cross-kind comparison; strings
+// compare lexicographically and sort after numbers when kinds mix.
+func (v Value) Compare(o Value) int {
+	vs, os := v.Kind == KindString, o.Kind == KindString
+	switch {
+	case vs && os:
+		return strings.Compare(v.S, o.S)
+	case vs:
+		return 1
+	case os:
+		return -1
+	case v.Kind == KindInt && o.Kind == KindInt:
+		switch {
+		case v.I < o.I:
+			return -1
+		case v.I > o.I:
+			return 1
+		}
+		return 0
+	default:
+		a, b := v.AsFloat(), o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+}
+
+// Add returns v + o with numeric coercion (int+int stays int).
+func (v Value) Add(o Value) Value { return arith(v, o, '+') }
+
+// Sub returns v - o with numeric coercion.
+func (v Value) Sub(o Value) Value { return arith(v, o, '-') }
+
+// Mul returns v * o with numeric coercion.
+func (v Value) Mul(o Value) Value { return arith(v, o, '*') }
+
+// Div returns v / o as a float; division by zero yields 0 so iterative
+// workflows (e.g. PageRank over dangling vertices) stay total.
+func (v Value) Div(o Value) Value {
+	d := o.AsFloat()
+	if d == 0 {
+		return Float(0)
+	}
+	return Float(v.AsFloat() / d)
+}
+
+func arith(v, o Value, op byte) Value {
+	if v.Kind == KindInt && o.Kind == KindInt {
+		switch op {
+		case '+':
+			return Int(v.I + o.I)
+		case '-':
+			return Int(v.I - o.I)
+		default:
+			return Int(v.I * o.I)
+		}
+	}
+	a, b := v.AsFloat(), o.AsFloat()
+	switch op {
+	case '+':
+		return Float(a + b)
+	case '-':
+		return Float(a - b)
+	default:
+		return Float(a * b)
+	}
+}
+
+// Row is one tuple of a relation. Rows are positional; names live in the
+// relation's schema.
+type Row []Value
+
+// Clone returns a deep copy of the row.
+func (r Row) Clone() Row {
+	c := make(Row, len(r))
+	copy(c, r)
+	return c
+}
+
+// Key renders the projection of r onto cols as a join/group key.
+// The encoding is unambiguous: fields are length-prefixed.
+func (r Row) Key(cols []int) string {
+	var b strings.Builder
+	for _, c := range cols {
+		s := r[c].String()
+		b.WriteString(strconv.Itoa(len(s)))
+		b.WriteByte(':')
+		b.WriteString(s)
+	}
+	return b.String()
+}

@@ -1,0 +1,76 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/gas"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// ConnectedComponentsGAS expresses label propagation in the GAS DSL: each
+// vertex repeatedly adopts the minimum label among its in-neighbors (and
+// itself, via zero-cost self-loops). After enough rounds every vertex in a
+// weakly-reachable region carries the region's minimum vertex ID.
+const ConnectedComponentsGAS = `
+GATHER = {
+    MIN(vertex_value)
+}
+APPLY = { }
+SCATTER = { }
+ITERATION_STOP = (iteration < %d)
+`
+
+// ConnectedComponents builds a label-propagation workload over the graph.
+// Edges are symmetrized and given self-loops so labels both flow in either
+// direction and persist between rounds.
+func ConnectedComponents(g *Graph, iterations int) *Workload {
+	edges := relation.New("edges", relation.NewSchema("src:int", "dst:int"))
+	seen := map[[2]int64]bool{}
+	maxVertex := int64(0)
+	addEdge := func(s, d int64) {
+		k := [2]int64{s, d}
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		edges.MustAppend(relation.Row{relation.Int(s), relation.Int(d)})
+	}
+	for _, row := range g.Edges.Rows {
+		s, d := row[0].I, row[1].I
+		addEdge(s, d)
+		addEdge(d, s)
+		if s > maxVertex {
+			maxVertex = s
+		}
+		if d > maxVertex {
+			maxVertex = d
+		}
+	}
+	for v := int64(0); v <= maxVertex; v++ {
+		addEdge(v, v)
+	}
+	scaleTo(edges, 2*g.LogicalEdges*bytesPerEdge)
+
+	labels := relation.New("vertices", relation.NewSchema("vertex:int", "vertex_value:float"))
+	for v := int64(0); v <= maxVertex; v++ {
+		labels.MustAppend(relation.Row{relation.Int(v), relation.Float(float64(v))})
+	}
+	scaleTo(labels, g.LogicalVertices*bytesPerVertex)
+
+	cat := frontends.Catalog{
+		"vertices": {Path: "in/" + g.Name + "/labels", Schema: labels.Schema},
+		"edges":    {Path: "in/" + g.Name + "/symedges", Schema: edges.Schema},
+	}
+	src := sprintf(ConnectedComponentsGAS, iterations)
+	return &Workload{
+		Name: "components-" + g.Name,
+		Build: func() (*ir.DAG, error) {
+			return gas.Parse(src, cat, gas.Config{Vertices: "vertices", Edges: "edges", Output: "components"})
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/" + g.Name + "/labels":   labels,
+			"in/" + g.Name + "/symedges": edges,
+		},
+		Output: "components",
+	}
+}

@@ -1,0 +1,68 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// CrossCommunityPageRank is the §6.3 hybrid workflow: the relative
+// popularity of users present in both of two web communities. A batch phase
+// intersects the two communities' edge sets, derives out-degrees and the
+// initial rank vector; an iterative phase runs PageRank over the common
+// subgraph. The batch phase favours general-purpose engines while the
+// iterative phase favours graph engines, which is exactly what makes
+// combined back-end mappings attractive.
+func CrossCommunityPageRank(a, b *Graph, iterations int) *Workload {
+	edgeSchema := relation.NewSchema("src:int", "dst:int")
+	strip := func(g *Graph, name string) *relation.Relation {
+		rel := relation.New(name, edgeSchema)
+		for _, row := range g.Edges.Rows {
+			rel.MustAppend(relation.Row{row[0], row[1]})
+		}
+		rel.LogicalBytes = g.Edges.LogicalBytes
+		return rel
+	}
+	e1 := strip(a, "edges_a")
+	e2 := strip(b, "edges_b")
+
+	cat := frontends.Catalog{
+		"edges_a": {Path: "in/cc/" + a.Name, Schema: edgeSchema},
+		"edges_b": {Path: "in/cc/" + b.Name, Schema: edgeSchema},
+	}
+	return &Workload{
+		Name: sprintf("cross-community-%s-%s", a.Name, b.Name),
+		Build: func() (*ir.DAG, error) {
+			bl := lindi.NewBuilder(cat)
+			common := bl.From("edges_a").Intersect(bl.From("edges_b")).Named("common")
+			deg := common.GroupBy([]string{"src"}).Count("degree").Done().Named("degrees")
+			common.Join(deg, []string{"src"}, []string{"src"}).Named("cedges")
+			common.Select("src").Distinct().
+				Compute("rank", ir.ColRef("src"), ir.ArithMul, ir.LitOp(relation.Float(0))).
+				Compute("rank", ir.ColRef("rank"), ir.ArithAdd, ir.LitOp(relation.Float(1))).
+				SelectAs([]string{"src", "rank"}, []string{"vertex", "rank"}).
+				Named("cverts")
+			bl.Iterate("ccpagerank", []string{"cverts", "cedges"}, lindi.LoopSpec{
+				MaxIter: iterations,
+				Carried: map[string]string{"cverts": "new_cverts"},
+			}, func(body *lindi.Builder) error {
+				body.From("cverts").
+					Join(body.From("cedges"), []string{"vertex"}, []string{"src"}).
+					Compute("rank", ir.ColRef("rank"), ir.ArithDiv, ir.ColRef("degree")).
+					GroupBy([]string{"dst"}).Sum("rank", "rank").Done().
+					Compute("rank", ir.ColRef("rank"), ir.ArithMul, ir.LitOp(relation.Float(0.85))).
+					Compute("rank", ir.ColRef("rank"), ir.ArithAdd, ir.LitOp(relation.Float(0.15))).
+					SelectAs([]string{"dst", "rank"}, []string{"vertex", "rank"}).
+					Named("new_cverts")
+				return nil
+			})
+			return bl.Build()
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/cc/" + a.Name: e1,
+			"in/cc/" + b.Name: e2,
+		},
+		Output: "ccpagerank",
+	}
+}

@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// KMeans builds the §6.7 k-means workload: logicalPoints random 2-D points
+// clustered into k centers over `iterations` Lloyd rounds. The assignment
+// step uses the CROSS JOIN operator — deliberately, as in the paper ("our
+// k-means uses the CROSS JOIN operator, which is inefficient") — which is
+// also why the workflow cannot be expressed in vertex-centric systems.
+func KMeans(logicalPoints int64, k, iterations int) *Workload {
+	r := rng(50)
+	points := relation.New("points", relation.NewSchema("pid:int", "x:float", "y:float"))
+	const physPoints = 600
+	for i := 0; i < physPoints; i++ {
+		// A few latent clusters so iterations actually move the centers.
+		cx, cy := float64(i%4)*10, float64((i/4)%3)*10
+		points.MustAppend(relation.Row{
+			relation.Int(int64(i)),
+			relation.Float(cx + r.NormFloat64()),
+			relation.Float(cy + r.NormFloat64()),
+		})
+	}
+	scaleTo(points, logicalPoints*22) // ~22 B per 2-D point row
+
+	centers := relation.New("centers", relation.NewSchema("cid:int", "cx:float", "cy:float"))
+	physK := k
+	if physK > 8 {
+		physK = 8 // physical sample uses few centers; logical size carries k
+	}
+	for c := 0; c < physK; c++ {
+		centers.MustAppend(relation.Row{
+			relation.Int(int64(c)),
+			relation.Float(40 * r.Float64()),
+			relation.Float(30 * r.Float64()),
+		})
+	}
+	scaleTo(centers, int64(k)*24)
+
+	cat := frontends.Catalog{
+		"points":  {Path: "in/kmeans/points", Schema: points.Schema},
+		"centers": {Path: "in/kmeans/centers", Schema: centers.Schema},
+	}
+	return &Workload{
+		Name: sprintf("kmeans-%dm-k%d", logicalPoints/1_000_000, k),
+		Build: func() (*ir.DAG, error) {
+			b := lindi.NewBuilder(cat)
+			b.Iterate("kmeans", []string{"points", "centers"}, lindi.LoopSpec{
+				MaxIter: iterations,
+				Carried: map[string]string{"centers": "new_centers"},
+			}, func(body *lindi.Builder) error {
+				dist := body.From("points").Cross(body.From("centers")).
+					Compute("dx", ir.ColRef("x"), ir.ArithSub, ir.ColRef("cx")).
+					Compute("dy", ir.ColRef("y"), ir.ArithSub, ir.ColRef("cy")).
+					Compute("dx", ir.ColRef("dx"), ir.ArithMul, ir.ColRef("dx")).
+					Compute("dy", ir.ColRef("dy"), ir.ArithMul, ir.ColRef("dy")).
+					Compute("dist", ir.ColRef("dx"), ir.ArithAdd, ir.ColRef("dy")).
+					Named("distances")
+				mind := dist.GroupBy([]string{"pid"}).Min("dist", "mind").Done().Named("mind")
+				dist.Join(mind, []string{"pid"}, []string{"pid"}).
+					Where(ir.Cmp(ir.ColRef("dist"), ir.CmpLe, ir.ColRef("mind"))).
+					GroupBy([]string{"cid"}).Avg("x", "cx").Avg("y", "cy").Done().
+					Named("new_centers")
+				return nil
+			})
+			return b.Build()
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/kmeans/points":  points,
+			"in/kmeans/centers": centers,
+		},
+		Output: "kmeans",
+	}
+}

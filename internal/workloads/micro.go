@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// ProjectMicro is the §2.1 input-size micro-benchmark: extract one column
+// from a space-separated two-column ASCII input (a PROJECT in SQL terms,
+// reminiscent of log-analysis batch jobs). logicalBytes sets the input size
+// (the paper sweeps 128 MB – 32 GB).
+func ProjectMicro(logicalBytes int64) *Workload {
+	r := rng(10)
+	lines := relation.New("lines", relation.NewSchema("c1:string", "c2:string"))
+	letters := []rune("abcdefghijklmnopqrstuvwxyz0123456789")
+	word := func(n int) string {
+		out := make([]rune, n)
+		for i := range out {
+			out[i] = letters[r.Intn(len(letters))]
+		}
+		return string(out)
+	}
+	for i := 0; i < 800; i++ {
+		lines.MustAppend(relation.Row{relation.Str(word(12)), relation.Str(word(20))})
+	}
+	scaleTo(lines, logicalBytes)
+	return &Workload{
+		Name: "project-micro",
+		Build: func() (*ir.DAG, error) {
+			d := ir.NewDAG()
+			in := d.AddInput("lines", "in/lines", lines.Schema)
+			d.Add(ir.OpProject, "col1", ir.Params{Columns: []string{"c1"}}, in)
+			return d, d.Validate()
+		},
+		Inputs: map[string]*relation.Relation{"in/lines": lines},
+		Output: "col1",
+	}
+}
+
+// JoinMicroAsymmetric is the §2.1 input-skewed join: the LiveJournal
+// vertex set (4.8 M rows) joined with its edge set (69 M rows), producing
+// only 1.28 M rows / 1.9 GB.
+func JoinMicroAsymmetric() *Workload {
+	g := LiveJournal()
+	vertices := relation.New("vertices", relation.NewSchema("id:int", "label:string"))
+	for _, row := range g.Ranks.Rows {
+		vertices.MustAppend(relation.Row{row[0], relation.Str("v")})
+	}
+	scaleTo(vertices, g.LogicalVertices*bytesPerVertex)
+	// Plain (src, dst) edge list, as the paper's join reads it.
+	edges := relation.New("edges", relation.NewSchema("src:int", "dst:int"))
+	for _, row := range g.Edges.Rows {
+		edges.MustAppend(relation.Row{row[0], row[1]})
+	}
+	scaleTo(edges, g.LogicalEdges*bytesPerEdge)
+	return &Workload{
+		Name: "join-asymmetric",
+		Build: func() (*ir.DAG, error) {
+			d := ir.NewDAG()
+			v := d.AddInput("vertices", "in/ljverts", vertices.Schema)
+			e := d.AddInput("edges", "in/ljedges", edges.Schema)
+			d.Add(ir.OpJoin, "joined", ir.Params{LeftCols: []string{"id"}, RightCols: []string{"src"}}, v, e)
+			return d, d.Validate()
+		},
+		Inputs: map[string]*relation.Relation{"in/ljverts": vertices, "in/ljedges": edges},
+		Output: "joined",
+	}
+}
+
+// JoinMicroAsymmetricStaged is the §2.1 join as an average programmer
+// writes it (§7): each input first staged through an identity pass, then
+// joined — two extra operators that Musketeer's merged plan avoids.
+func JoinMicroAsymmetricStaged() *Workload {
+	base := JoinMicroAsymmetric()
+	return &Workload{
+		Name: "join-asymmetric-staged",
+		Build: func() (*ir.DAG, error) {
+			d := ir.NewDAG()
+			l := d.AddInput("vertices", "in/ljverts", base.Inputs["in/ljverts"].Schema)
+			r := d.AddInput("edges", "in/ljedges", base.Inputs["in/ljedges"].Schema)
+			ls := d.Add(ir.OpProject, "verts_staged", ir.Params{Columns: []string{"id", "label"}}, l)
+			rs := d.Add(ir.OpProject, "edges_staged", ir.Params{Columns: []string{"src", "dst"}}, r)
+			d.Add(ir.OpJoin, "joined", ir.Params{LeftCols: []string{"id"}, RightCols: []string{"src"}}, ls, rs)
+			return d, d.Validate()
+		},
+		Inputs: base.Inputs,
+		Output: "joined",
+	}
+}
+
+// JoinMicroSymmetric is the §2.1 symmetric join of two uniformly random
+// 39 M-row data sets producing 1.5 B rows / 29 GB.
+func JoinMicroSymmetric() *Workload {
+	r := rng(11)
+	mk := func(name string, seedCol string) *relation.Relation {
+		rel := relation.New(name, relation.NewSchema("k:int", seedCol+":int"))
+		for i := 0; i < 1500; i++ {
+			// ~38 distinct keys over 1500 rows → ~40 matches per key per
+			// side, so the join output is ~40× its input, like the
+			// paper's 39 M→1.5 B blow-up.
+			rel.MustAppend(relation.Row{relation.Int(int64(r.Intn(38))), relation.Int(int64(i))})
+		}
+		scaleTo(rel, mb(720)) // 39 M rows × ~18 B
+		return rel
+	}
+	left, right := mk("left", "v"), mk("right", "w")
+	return &Workload{
+		Name: "join-symmetric",
+		Build: func() (*ir.DAG, error) {
+			d := ir.NewDAG()
+			l := d.AddInput("left", "in/jleft", left.Schema)
+			rr := d.AddInput("right", "in/jright", right.Schema)
+			d.Add(ir.OpJoin, "joined", ir.Params{LeftCols: []string{"k"}, RightCols: []string{"k"}}, l, rr)
+			return d, d.Validate()
+		},
+		Inputs: map[string]*relation.Relation{"in/jleft": left, "in/jright": right},
+		Output: "joined",
+	}
+}

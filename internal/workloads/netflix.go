@@ -1,0 +1,182 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// NetflixData generates the movie-recommendation inputs: a ratings table
+// standing in for the 100 M-row (2.5 GB) NetFlix prize data and a 17,000-
+// row movie list (0.5 MB). movieLimit controls how many movies the
+// prediction uses (the paper's x-axis in Fig 10).
+func NetflixData() (ratings, movies *relation.Relation) {
+	r := rng(40)
+	const physUsers, physMovies = 150, 60
+	ratings = relation.New("ratings", relation.NewSchema("user:int", "movie:int", "rating:float"))
+	for u := 0; u < physUsers; u++ {
+		seen := map[int]bool{}
+		for k := 0; k < 12; k++ {
+			m := r.Intn(physMovies)
+			if seen[m] {
+				continue
+			}
+			seen[m] = true
+			ratings.MustAppend(relation.Row{
+				relation.Int(int64(u)), relation.Int(int64(m)),
+				relation.Float(float64(1 + r.Intn(5))),
+			})
+		}
+	}
+	scaleTo(ratings, gb(2.5))
+	movies = relation.New("movies", relation.NewSchema("movie:int", "year:int"))
+	for m := 0; m < physMovies; m++ {
+		movies.MustAppend(relation.Row{relation.Int(int64(m)), relation.Int(int64(1950 + r.Intn(60)))})
+	}
+	scaleTo(movies, mb(0.5))
+	return ratings, movies
+}
+
+func netflixCatalog() frontends.Catalog {
+	return frontends.Catalog{
+		"ratings": {Path: "in/netflix/ratings", Schema: relation.NewSchema("user:int", "movie:int", "rating:float")},
+		"movies":  {Path: "in/netflix/movies", Schema: relation.NewSchema("movie:int", "year:int")},
+	}
+}
+
+// netflixCore builds the 13-operator item-based recommendation pipeline
+// (paper §6.4): restrict to a movie subset, build co-rated movie pairs by
+// self-joining on user, score pair similarity, project each user's ratings
+// through the similarity matrix, and keep the top recommendation per user.
+// movieFraction ∈ (0,1] controls the movie subset ("we control the amount
+// of data processed by varying the number of movies used").
+func netflixCore(b *lindi.Builder, movieLimit int64) *lindi.Query {
+	selMovies := b.From("movies").
+		Where(ir.Cmp(ir.ColRef("movie"), ir.CmpLt, ir.LitOp(relation.Int(movieLimit)))). // 1
+		Named("sel_movies")
+	r1 := b.From("ratings").
+		Join(selMovies, []string{"movie"}, []string{"movie"}). // 2
+		Named("target_ratings")
+	pairs := r1.Join(r1, []string{"user"}, []string{"user"}).Named("pairs") // 3
+	sim := pairs.
+		Where(ir.Cmp(ir.ColRef("movie"), ir.CmpNe, ir.ColRef("r_movie"))).          // 4
+		Compute("prod", ir.ColRef("rating"), ir.ArithMul, ir.ColRef("r_rating")).   // 5
+		GroupBy([]string{"movie", "r_movie"}).Sum("prod", "sim").Count("n").Done(). // 6
+		Compute("nsim", ir.ColRef("sim"), ir.ArithDiv, ir.ColRef("n")).             // 7
+		Named("similarity")
+	rec := b.From("ratings").
+		Join(sim, []string{"movie"}, []string{"movie"}).                       // 8
+		Compute("score", ir.ColRef("rating"), ir.ArithMul, ir.ColRef("nsim")). // 9
+		GroupBy([]string{"user", "r_movie"}).Sum("score", "total").Done().     // 10
+		Named("recommendations")
+	best := rec.GroupBy([]string{"user"}).Max("total", "best").Done().Named("best") // 11
+	return rec.Join(best, []string{"user"}, []string{"user"}).                      // 12
+											Where(ir.Cmp(ir.ColRef("total"), ir.CmpGe, ir.ColRef("best"))). // 13
+											Named("top_recommendation")
+}
+
+// Netflix builds the 13-operator movie recommendation workload.
+func Netflix(movieLimit int64) *Workload {
+	ratings, movies := NetflixData()
+	cat := netflixCatalog()
+	return &Workload{
+		Name: sprintf("netflix-%d", movieLimit),
+		Build: func() (*ir.DAG, error) {
+			b := lindi.NewBuilder(cat)
+			netflixCore(b, movieLimit)
+			return b.Build()
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/netflix/ratings": ratings,
+			"in/netflix/movies":  movies,
+		},
+		Output: "top_recommendation",
+	}
+}
+
+// NetflixExtended is the 18-operator extension of the NetFlix workflow used
+// to stress the DAG partitioning algorithms (paper §6.6, Fig 13).
+// prefix ≤ 18 truncates the pipeline to its first `prefix` operators
+// ("we run subsets of an extended version of the NetFlix workflow").
+func NetflixExtended(prefix int) *Workload {
+	ratings, movies := NetflixData()
+	cat := netflixCatalog()
+	return &Workload{
+		Name: sprintf("netflix-ext-%dops", prefix),
+		Build: func() (*ir.DAG, error) {
+			b := lindi.NewBuilder(cat)
+			top := netflixCore(b, 40)
+			top.
+				Select("user", "r_movie", "total").                                               // 14
+				Distinct().                                                                       // 15
+				Compute("boost", ir.ColRef("total"), ir.ArithMul, ir.LitOp(relation.Float(1.1))). // 16
+				Where(ir.Cmp(ir.ColRef("boost"), ir.CmpGt, ir.LitOp(relation.Float(0)))).         // 17
+				GroupBy([]string{"r_movie"}).Count("fans").Done().                                // 18
+				Named("movie_fans")
+			dag, err := b.Build()
+			if err != nil {
+				return nil, err
+			}
+			return truncateDAG(dag, prefix)
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/netflix/ratings": ratings,
+			"in/netflix/movies":  movies,
+		},
+		Output: "movie_fans",
+	}
+}
+
+// truncateDAG keeps the first n compute operators (in topological order)
+// plus the inputs they need.
+func truncateDAG(dag *ir.DAG, n int) (*ir.DAG, error) {
+	order, err := dag.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	keep := map[*ir.Op]bool{}
+	count := 0
+	for _, op := range order {
+		if op.Type == ir.OpInput {
+			continue
+		}
+		ok := true
+		for _, in := range op.Inputs {
+			if in.Type != ir.OpInput && !keep[in] {
+				ok = false
+			}
+		}
+		if !ok || count >= n {
+			continue
+		}
+		keep[op] = true
+		count++
+	}
+	out := ir.NewDAG()
+	mapping := map[*ir.Op]*ir.Op{}
+	for _, op := range order {
+		needed := keep[op]
+		if op.Type == ir.OpInput {
+			// Keep inputs consumed by kept ops.
+			for _, c := range order {
+				if keep[c] {
+					for _, in := range c.Inputs {
+						if in == op {
+							needed = true
+						}
+					}
+				}
+			}
+		}
+		if !needed {
+			continue
+		}
+		var ins []*ir.Op
+		for _, in := range op.Inputs {
+			ins = append(ins, mapping[in])
+		}
+		mapping[op] = out.Add(op.Type, op.Out, op.Params, ins...)
+	}
+	return out, out.Validate()
+}

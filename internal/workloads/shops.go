@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/beer"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// TopShopperBEER is the §6.5 micro-benchmark in the BEER front-end: find
+// the largest spenders in a geographic region — filter purchases by region,
+// aggregate value by user, keep users above a threshold. Three operators
+// that merge into a single job and a single data scan.
+const TopShopperBEER = `
+eu     = SELECT * FROM purchases WHERE region == "EU";
+totals = AGG SUM(value) AS total FROM eu GROUP BY uid;
+top    = SELECT * FROM totals WHERE total > 900;
+`
+
+// bytesPerPurchase approximates one purchase row on disk.
+const bytesPerPurchase = 24
+
+// TopShopper builds the workload for a purchase log covering
+// logicalUsers users (the paper sweeps 10 M – 100 M).
+func TopShopper(logicalUsers int64) *Workload {
+	r := rng(30)
+	schema := relation.NewSchema("uid:int", "region:string", "value:float")
+	purchases := relation.New("purchases", schema)
+	regions := []string{"EU", "US", "APAC"}
+	const physUsers = 400
+	for i := 0; i < 4*physUsers; i++ {
+		purchases.MustAppend(relation.Row{
+			relation.Int(int64(r.Intn(physUsers))),
+			relation.Str(regions[r.Intn(len(regions))]),
+			relation.Float(10 + 490*r.Float64()),
+		})
+	}
+	// ~4 purchases per user.
+	scaleTo(purchases, 4*logicalUsers*bytesPerPurchase)
+	cat := frontends.Catalog{
+		"purchases": {Path: "in/purchases", Schema: schema},
+	}
+	return &Workload{
+		Name: sprintf("top-shopper-%dm", logicalUsers/1_000_000),
+		Build: func() (*ir.DAG, error) {
+			return beer.Parse(TopShopperBEER, cat)
+		},
+		Inputs: map[string]*relation.Relation{"in/purchases": purchases},
+		Output: "top",
+	}
+}

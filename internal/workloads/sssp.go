@@ -1,0 +1,74 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/gas"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// SSSPGAS expresses single-source shortest paths as min-plus propagation in
+// the GAS DSL: scatter adds the edge cost to the source's distance, gather
+// keeps the minimum incoming distance. Zero-cost self-loops preserve
+// settled distances between rounds.
+const SSSPGAS = `
+GATHER = {
+    MIN(vertex_value)
+}
+APPLY = { }
+SCATTER = {
+    SUM [vertex_value, cost]
+}
+ITERATION_STOP = (iteration < %d)
+`
+
+// ssspInfinity stands for "unreached" in the distance relation.
+const ssspInfinity = 1e18
+
+// SSSP builds the §6.7 SSSP workload over a graph extended with edge costs
+// ("the input for SSSP was the Twitter graph extended with costs").
+func SSSP(g *Graph, iterations int) *Workload {
+	r := rng(60)
+	edges := relation.New("edges", relation.NewSchema("src:int", "dst:int", "cost:float"))
+	maxVertex := int64(0)
+	for _, row := range g.Edges.Rows {
+		edges.MustAppend(relation.Row{row[0], row[1], relation.Float(1 + 9*r.Float64())})
+		if row[0].I > maxVertex {
+			maxVertex = row[0].I
+		}
+		if row[1].I > maxVertex {
+			maxVertex = row[1].I
+		}
+	}
+	for v := int64(0); v <= maxVertex; v++ {
+		edges.MustAppend(relation.Row{relation.Int(v), relation.Int(v), relation.Float(0)})
+	}
+	scaleTo(edges, g.LogicalEdges*(bytesPerEdge+6))
+
+	dists := relation.New("vertices", relation.NewSchema("vertex:int", "vertex_value:float"))
+	for v := int64(0); v <= maxVertex; v++ {
+		d := ssspInfinity
+		if v == 0 {
+			d = 0
+		}
+		dists.MustAppend(relation.Row{relation.Int(v), relation.Float(d)})
+	}
+	scaleTo(dists, g.LogicalVertices*bytesPerVertex)
+
+	cat := frontends.Catalog{
+		"vertices": {Path: "in/" + g.Name + "/dists", Schema: dists.Schema},
+		"edges":    {Path: "in/" + g.Name + "/cedges", Schema: edges.Schema},
+	}
+	src := sprintf(SSSPGAS, iterations)
+	return &Workload{
+		Name: "sssp-" + g.Name,
+		Build: func() (*ir.DAG, error) {
+			return gas.Parse(src, cat, gas.Config{Vertices: "vertices", Edges: "edges", Output: "sssp"})
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/" + g.Name + "/dists":  dists,
+			"in/" + g.Name + "/cedges": edges,
+		},
+		Output: "sssp",
+	}
+}

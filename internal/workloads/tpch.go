@@ -1,0 +1,117 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/hive"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// TPCHQ17Hive is TPC-H query 17 ("small-quantity-order revenue") in the
+// HiveQL front-end dialect: the average yearly revenue lost if orders for
+// small quantities of certain parts were no longer taken. The correlated
+// subquery becomes an AVG aggregation joined back, as Hive plans it.
+const TPCHQ17Hive = `
+SELECT partkey FROM part WHERE brand == "Brand#23" AND container == "MED BOX" AS target_parts;
+SELECT partkey, AVG(quantity) AS avg_qty FROM lineitem GROUP BY partkey AS part_avg;
+lineitem JOIN target_parts ON lineitem.partkey = target_parts.partkey AS target_items;
+target_items JOIN part_avg ON target_items.partkey = part_avg.partkey AS with_avg;
+SELECT * FROM with_avg WHERE quantity < 0.2 * avg_qty AS small_orders;
+SELECT SUM(extendedprice) AS revenue FROM small_orders AS q17;
+`
+
+// tpchSchemas returns the lineitem and part schemas used by Q17.
+func tpchSchemas() (relation.Schema, relation.Schema) {
+	lineitem := relation.NewSchema("partkey:int", "quantity:float", "extendedprice:float")
+	part := relation.NewSchema("partkey:int", "brand:string", "container:string")
+	return lineitem, part
+}
+
+// TPCHData generates lineitem and part tables at the given TPC-H scale
+// factor: SF 10 ≈ 7.5 GB, SF 100 ≈ 75 GB of input (paper §6.2).
+func TPCHData(scaleFactor int) (lineitem, part *relation.Relation) {
+	liSchema, pSchema := tpchSchemas()
+	r := rng(20)
+	const physParts = 200
+	part = relation.New("part", pSchema)
+	brands := []string{"Brand#23", "Brand#12", "Brand#44", "Brand#55"}
+	containers := []string{"MED BOX", "SM CASE", "LG DRUM", "JUMBO PKG"}
+	for i := 0; i < physParts; i++ {
+		part.MustAppend(relation.Row{
+			relation.Int(int64(i)),
+			relation.Str(brands[r.Intn(len(brands))]),
+			relation.Str(containers[r.Intn(len(containers))]),
+		})
+	}
+	lineitem = relation.New("lineitem", liSchema)
+	for i := 0; i < 4000; i++ {
+		lineitem.MustAppend(relation.Row{
+			relation.Int(int64(r.Intn(physParts))),
+			relation.Float(float64(1 + r.Intn(50))),
+			relation.Float(900 + 100*r.Float64()*float64(1+r.Intn(50))),
+		})
+	}
+	// TPC-H: lineitem dominates (~73 MB/SF), part is small (~2.3 MB/SF).
+	scaleTo(lineitem, int64(scaleFactor)*mb(73))
+	scaleTo(part, int64(scaleFactor)*mb(2.3))
+	return lineitem, part
+}
+
+// TPCHCatalog returns the catalog for the Q17 tables.
+func TPCHCatalog() frontends.Catalog {
+	liSchema, pSchema := tpchSchemas()
+	return frontends.Catalog{
+		"lineitem": {Path: "in/tpch/lineitem", Schema: liSchema},
+		"part":     {Path: "in/tpch/part", Schema: pSchema},
+	}
+}
+
+// TPCHQ17 builds the Q17 workload from the Hive front-end at a TPC-H scale
+// factor.
+func TPCHQ17(scaleFactor int) *Workload {
+	lineitem, part := TPCHData(scaleFactor)
+	cat := TPCHCatalog()
+	return &Workload{
+		Name: sprintf("tpch-q17-sf%d", scaleFactor),
+		Build: func() (*ir.DAG, error) {
+			return hive.Parse(TPCHQ17Hive, cat)
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/tpch/lineitem": lineitem,
+			"in/tpch/part":     part,
+		},
+		Output: "q17",
+	}
+}
+
+// TPCHQ17Lindi builds the same query through the Lindi front-end (the
+// second arm of Fig 7).
+func TPCHQ17Lindi(scaleFactor int) *Workload {
+	lineitem, part := TPCHData(scaleFactor)
+	cat := TPCHCatalog()
+	return &Workload{
+		Name: sprintf("tpch-q17-lindi-sf%d", scaleFactor),
+		Build: func() (*ir.DAG, error) {
+			b := lindi.NewBuilder(cat)
+			target := b.From("part").
+				Where(ir.And(
+					ir.Cmp(ir.ColRef("brand"), ir.CmpEq, ir.LitOp(relation.Str("Brand#23"))),
+					ir.Cmp(ir.ColRef("container"), ir.CmpEq, ir.LitOp(relation.Str("MED BOX"))),
+				)).
+				Select("partkey").Named("target_parts")
+			avg := b.From("lineitem").GroupBy([]string{"partkey"}).Avg("quantity", "avg_qty").Done().Named("part_avg")
+			items := b.From("lineitem").Join(target, []string{"partkey"}, []string{"partkey"}).Named("target_items")
+			items.Join(avg, []string{"partkey"}, []string{"partkey"}).
+				Where(ir.Cmp(ir.ColRef("quantity"), ir.CmpLt, ir.ScaledCol("avg_qty", 0.2))).
+				GroupBy(nil).Sum("extendedprice", "revenue").Done().
+				Named("q17")
+			return b.Build()
+		},
+		Inputs: map[string]*relation.Relation{
+			"in/tpch/lineitem": lineitem,
+			"in/tpch/part":     part,
+		},
+		Output: "q17",
+	}
+}

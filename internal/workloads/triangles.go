@@ -1,0 +1,51 @@
+package workloads
+
+import (
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// TriangleCount is the paper's §8 idiom-recognition counter-example: a
+// graph workload expressed as two self-joins of the edge list plus a
+// filter, with no WHILE/JOIN/GROUP-BY loop shape. Idiom recognition is
+// sound but not complete, so Musketeer does NOT detect this as a graph
+// workload — vertex-centric back-ends are ineligible and the workflow runs
+// on general-purpose engines (less efficiently than a specialized
+// triangle-count kernel would).
+//
+// The query counts directed triangles a→b→c→a over distinct vertices.
+func TriangleCount(g *Graph) *Workload {
+	edgeSchema := relation.NewSchema("src:int", "dst:int")
+	edges := relation.New("edges", edgeSchema)
+	for _, row := range g.Edges.Rows {
+		edges.MustAppend(relation.Row{row[0], row[1]})
+	}
+	edges.LogicalBytes = g.Edges.LogicalBytes
+	cat := frontends.Catalog{
+		"edges": {Path: "in/" + g.Name + "/tc_edges", Schema: edgeSchema},
+	}
+	return &Workload{
+		Name: "triangles-" + g.Name,
+		Build: func() (*ir.DAG, error) {
+			b := lindi.NewBuilder(cat)
+			e := b.From("edges").Distinct().Named("e")
+			// paths: a→b→c (join e.dst = e.src).
+			paths := e.Join(b.From("e"), []string{"dst"}, []string{"src"}).Named("paths")
+			// close the triangle: c→a, i.e. join paths on (r_dst=src) and
+			// require dst-of-closure == src-of-path.
+			// closed schema: (src, dst, r_dst, r_r_dst) — the last column
+			// is the closure edge's endpoint, which must equal the path's
+			// starting vertex.
+			closed := paths.Join(b.From("e"), []string{"r_dst"}, []string{"src"}).Named("closed")
+			closed.
+				Where(ir.Cmp(ir.ColRef("r_r_dst"), ir.CmpEq, ir.ColRef("src"))).
+				GroupBy(nil).Count("triangles").Done().
+				Named("triangle_count")
+			return b.Build()
+		},
+		Inputs: map[string]*relation.Relation{"in/" + g.Name + "/tc_edges": edges},
+		Output: "triangle_count",
+	}
+}

@@ -1,0 +1,368 @@
+// Package musketeer is a from-scratch Go reproduction of "Musketeer: all
+// for one, one for all in data processing systems" (EuroSys 2015): a
+// workflow manager that decouples front-end workflow frameworks from
+// back-end execution engines.
+//
+// Workflows written in any supported front-end (a HiveQL subset, the BEER
+// DSL, a Pig Latin subset, the Gather-Apply-Scatter DSL, or the LINQ-style
+// Lindi builder) are translated to a common DAG-of-operators intermediate
+// representation,
+// optimized, partitioned into jobs, mapped — manually or automatically via
+// a calibrated cost function — onto seven back-end execution engines
+// (Hadoop MapReduce, Spark, Naiad, PowerGraph, GraphChi, Metis, serial C),
+// and executed. The engines are in-process simulations that really run the
+// generated jobs over a simulated distributed filesystem while accounting
+// makespan with per-engine performance profiles; see DESIGN.md for the
+// substitution rationale.
+//
+// Quickstart:
+//
+//	m := musketeer.New(musketeer.EC2(16))
+//	m.WriteInput("in/properties", propsRel)
+//	m.WriteInput("in/prices", pricesRel)
+//	wf, err := m.CompileHive(querySrc, catalog)
+//	res, err := wf.Execute() // optimize, auto-map, run
+//	out, err := m.ReadOutput("street_price")
+package musketeer
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/core"
+	"musketeer/internal/dfs"
+	"musketeer/internal/engines"
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/beer"
+	"musketeer/internal/frontends/gas"
+	"musketeer/internal/frontends/hive"
+	"musketeer/internal/frontends/lindi"
+	"musketeer/internal/frontends/pig"
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// Re-exported front-end types.
+type (
+	// Catalog maps base-table names to DFS paths and schemas.
+	Catalog = frontends.Catalog
+	// Table is one catalogued base relation.
+	Table = frontends.Table
+	// GASConfig configures the Gather-Apply-Scatter front-end.
+	GASConfig = gas.Config
+	// LindiBuilder is the LINQ-style programmatic front-end.
+	LindiBuilder = lindi.Builder
+	// Relation is the tabular data model.
+	Relation = relation.Relation
+	// Schema describes a relation's columns.
+	Schema = relation.Schema
+	// Seconds is a simulated duration.
+	Seconds = cluster.Seconds
+	// History is the workflow-history store.
+	History = core.History
+	// Partitioning is a workflow decomposed into engine-assigned jobs.
+	Partitioning = core.Partitioning
+	// PlanMode selects generated-code quality.
+	PlanMode = engines.PlanMode
+)
+
+// Code-generation modes.
+const (
+	ModeOptimized = engines.ModeOptimized
+	ModeNaive     = engines.ModeNaive
+	ModeHand      = engines.ModeHand
+)
+
+// NewSchema builds a schema from "name:kind" specs.
+func NewSchema(specs ...string) Schema { return relation.NewSchema(specs...) }
+
+// LoadHistory reads a workflow-history store saved by History.Save;
+// a missing file yields an empty store.
+func LoadHistory(path string) (*History, error) { return core.LoadHistory(path) }
+
+// NewLindiBuilder starts a LINQ-style Lindi workflow over the catalog.
+func NewLindiBuilder(cat Catalog) *LindiBuilder { return lindi.NewBuilder(cat) }
+
+// NewRelation creates an empty relation with the given name and schema.
+func NewRelation(name string, schema Schema) *Relation { return relation.New(name, schema) }
+
+// Musketeer is a deployment: a cluster, shared storage, the engine
+// registry, and accumulated workflow history.
+type Musketeer struct {
+	fs      *dfs.DFS
+	cluster *cluster.Cluster
+	engines map[string]*engines.Engine
+	history *core.History
+	faults  *engines.FaultModel
+}
+
+// Option configures New.
+type Option func(*Musketeer)
+
+// EC2 deploys on n EC2 m1.xlarge nodes (the paper's 100-node cluster).
+func EC2(n int) Option {
+	return func(m *Musketeer) { m.cluster = cluster.EC2(n) }
+}
+
+// LocalCluster deploys on the paper's dedicated 7-node local cluster.
+func LocalCluster(n int) Option {
+	return func(m *Musketeer) { m.cluster = cluster.Local(n) }
+}
+
+// WithHistory installs an existing workflow-history store.
+func WithHistory(h *core.History) Option {
+	return func(m *Musketeer) { m.history = h }
+}
+
+// WithFaults injects worker failures with the given cluster-wide mean time
+// between failures (simulated seconds). Engines recover per their fault-
+// tolerance mechanism (Table 3): Hadoop re-runs tasks, Spark recomputes
+// lineage, Naiad/PowerGraph roll back to checkpoints, single-machine
+// systems restart.
+func WithFaults(mtbfSeconds float64, seed int64) Option {
+	return func(m *Musketeer) {
+		m.faults = &engines.FaultModel{MTBFSeconds: mtbfSeconds, Seed: seed}
+	}
+}
+
+// New creates a deployment. Default: the 7-node local cluster, all seven
+// engines registered, empty history.
+func New(opts ...Option) *Musketeer {
+	m := &Musketeer{
+		fs:      dfs.New(),
+		cluster: cluster.Local(7),
+		engines: engines.Registry(),
+		history: core.NewHistory(),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// WriteInput stages a relation in the shared DFS.
+func (m *Musketeer) WriteInput(path string, rel *Relation) error {
+	return m.fs.WriteRelation(path, rel)
+}
+
+// ReadOutput fetches a workflow output relation from the DFS.
+func (m *Musketeer) ReadOutput(name string) (*Relation, error) {
+	return m.fs.ReadRelation(name)
+}
+
+// History returns the deployment's workflow-history store.
+func (m *Musketeer) History() *core.History { return m.history }
+
+// EngineNames lists the registered back-ends.
+func (m *Musketeer) EngineNames() []string {
+	var names []string
+	for n := range m.engines {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Workflow is a compiled workflow bound to a deployment.
+type Workflow struct {
+	m   *Musketeer
+	dag *ir.DAG
+	// Mode selects generated-code quality (default ModeOptimized).
+	Mode PlanMode
+}
+
+// CompileHive translates a HiveQL-subset workflow.
+func (m *Musketeer) CompileHive(src string, cat Catalog) (*Workflow, error) {
+	dag, err := hive.Parse(src, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// CompileBEER translates a BEER workflow.
+func (m *Musketeer) CompileBEER(src string, cat Catalog) (*Workflow, error) {
+	dag, err := beer.Parse(src, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// CompileGAS translates a Gather-Apply-Scatter program.
+func (m *Musketeer) CompileGAS(src string, cat Catalog, cfg GASConfig) (*Workflow, error) {
+	dag, err := gas.Parse(src, cat, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// CompilePig translates a Pig Latin-subset workflow.
+func (m *Musketeer) CompilePig(src string, cat Catalog) (*Workflow, error) {
+	dag, err := pig.Parse(src, cat)
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// CompileLindi finalizes a Lindi builder into a workflow.
+func (m *Musketeer) CompileLindi(b *LindiBuilder) (*Workflow, error) {
+	dag, err := b.Build()
+	if err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// FromDAG wraps a hand-built IR DAG (validating it first).
+func (m *Musketeer) FromDAG(dag *ir.DAG) (*Workflow, error) {
+	if err := dag.Validate(); err != nil {
+		return nil, err
+	}
+	return &Workflow{m: m, dag: dag}, nil
+}
+
+// DAG exposes the workflow's intermediate representation.
+func (w *Workflow) DAG() *ir.DAG { return w.dag }
+
+// Optimize applies the IR rewrite rules; returns the number of rewrites.
+func (w *Workflow) Optimize() int { return core.Optimize(w.dag) }
+
+// estimator builds a fresh estimator against the staged inputs.
+func (w *Workflow) estimator() (*core.Estimator, error) {
+	return core.NewEstimator(w.dag, w.m.fs, w.m.cluster, w.m.history)
+}
+
+// Plan partitions the workflow and picks back-ends automatically
+// (paper §5.2): the cheapest feasible partitioning over all engines
+// Musketeer generates code for.
+func (w *Workflow) Plan() (*Partitioning, error) {
+	est, err := w.estimator()
+	if err != nil {
+		return nil, err
+	}
+	return core.AutoMap(w.dag, est, w.standardEngines())
+}
+
+// PlanFor partitions the workflow for one explicitly chosen back-end.
+func (w *Workflow) PlanFor(engine string) (*Partitioning, error) {
+	eng, ok := w.m.engines[engine]
+	if !ok {
+		return nil, fmt.Errorf("musketeer: unknown engine %q", engine)
+	}
+	est, err := w.estimator()
+	if err != nil {
+		return nil, err
+	}
+	return core.MapTo(w.dag, est, eng)
+}
+
+// PlanUnmerged builds the per-operator (merging disabled) partitioning for
+// a back-end — the paper's §6.5 ablation and profiling mode.
+func (w *Workflow) PlanUnmerged(engine string) (*Partitioning, error) {
+	eng, ok := w.m.engines[engine]
+	if !ok {
+		return nil, fmt.Errorf("musketeer: unknown engine %q", engine)
+	}
+	est, err := w.estimator()
+	if err != nil {
+		return nil, err
+	}
+	return core.PerOperatorPartitioning(w.dag, est, eng)
+}
+
+func (w *Workflow) standardEngines() []*engines.Engine {
+	var engs []*engines.Engine
+	for _, e := range engines.StandardEngines() {
+		if reg, ok := w.m.engines[e.Name()]; ok {
+			engs = append(engs, reg)
+		}
+	}
+	return engs
+}
+
+// Result reports one workflow execution.
+type Result struct {
+	// Makespan is the simulated end-to-end time (critical path).
+	Makespan Seconds
+	// SumJobTime is aggregate per-job time (resource-efficiency metric).
+	SumJobTime Seconds
+	// Jobs are the individual back-end job executions.
+	Jobs []*engines.RunResult
+	// OOM reports a memory-capacity blowout on some job.
+	OOM bool
+	// Partitioning is the plan that ran.
+	Partitioning *Partitioning
+}
+
+// Run executes a previously computed partitioning.
+func (w *Workflow) Run(part *Partitioning) (*Result, error) {
+	r := &core.Runner{
+		Ctx:     engines.RunContext{DFS: w.m.fs, Cluster: w.m.cluster, Faults: w.m.faults},
+		History: w.m.history,
+		Mode:    w.Mode,
+	}
+	res, err := r.Execute(w.dag, part)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Makespan:     res.Makespan,
+		SumJobTime:   res.SumJobTime,
+		Jobs:         res.Jobs,
+		OOM:          res.OOM,
+		Partitioning: part,
+	}, nil
+}
+
+// Execute optimizes, auto-plans and runs the workflow.
+func (w *Workflow) Execute() (*Result, error) {
+	w.Optimize()
+	part, err := w.Plan()
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(part)
+}
+
+// ExecuteOn optimizes, plans for one engine, and runs.
+func (w *Workflow) ExecuteOn(engine string) (*Result, error) {
+	w.Optimize()
+	part, err := w.PlanFor(engine)
+	if err != nil {
+		return nil, err
+	}
+	return w.Run(part)
+}
+
+// Explain renders the partitioning with the cost model's reasoning: per
+// job, the estimated data volumes, iteration counts, recorded runtimes, and
+// the per-engine cost comparison that led to the choice.
+func (w *Workflow) Explain(part *Partitioning) (string, error) {
+	est, err := w.estimator()
+	if err != nil {
+		return "", err
+	}
+	return core.Explain(part, est, w.standardEngines()), nil
+}
+
+// GeneratedCode renders the code Musketeer generates for every job of a
+// partitioning, in the target engines' languages (paper §4.3).
+func (w *Workflow) GeneratedCode(part *Partitioning) (string, error) {
+	var b strings.Builder
+	for i, job := range part.Jobs {
+		plan, err := job.Engine.Plan(job.Frag, w.Mode)
+		if err != nil {
+			return "", err
+		}
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(plan.Source)
+	}
+	return b.String(), nil
+}
