@@ -1,0 +1,23 @@
+#!/bin/sh
+# CI gate: vet, build, full test suite, then the suite again under the race
+# detector. The race pass matters here — the kernels, TSV codecs, and the
+# exhaustive partitioner all shard work across goroutines, and the shared
+# maphash seed / estimator fragment cache are exactly the kind of state a
+# race would corrupt silently.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "CI OK"

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
@@ -63,6 +64,15 @@ type Estimator struct {
 	// reach[op] is the set of ops transitively reachable from op
 	// (descendants), used by the exhaustive partitioner's cycle check.
 	reach map[*ir.Op]map[*ir.Op]bool
+
+	// fragCache memoizes the cheapest engine/cost per (engine set, op
+	// group): partition searches — exhaustive branches, the DP heuristic's
+	// O(n²) segments, and PartitionDynamicMulti's repeated orders — evaluate
+	// the same fragments over and over, and op IDs are unique across a
+	// DAG's loop bodies, so the key is sound estimator-wide. RWMutex-guarded
+	// because the exhaustive search shares it across worker goroutines.
+	fragMu    sync.RWMutex
+	fragCache map[string]fragChoice
 }
 
 // NewEstimator analyses the DAG against the stored inputs and history.
@@ -72,11 +82,12 @@ func NewEstimator(dag *ir.DAG, fs *dfs.DFS, c *cluster.Cluster, h *History) (*Es
 	}
 	est := &Estimator{
 		Cluster: c, History: h, dag: dag,
-		sizes:  map[*ir.Op]int64{},
-		iters:  map[*ir.Op]int{},
-		inputs: map[string]int64{},
-		hashes: map[*ir.DAG]string{},
-		reach:  map[*ir.Op]map[*ir.Op]bool{},
+		sizes:     map[*ir.Op]int64{},
+		iters:     map[*ir.Op]int{},
+		inputs:    map[string]int64{},
+		hashes:    map[*ir.DAG]string{},
+		reach:     map[*ir.Op]map[*ir.Op]bool{},
+		fragCache: map[string]fragChoice{},
 	}
 	if fs != nil {
 		for _, path := range collectInputPaths(dag, nil) {
@@ -105,6 +116,10 @@ func (e *Estimator) WithInputSizes(sizes map[string]int64) (*Estimator, error) {
 	if err := e.propagate(e.dag, nil); err != nil {
 		return nil, err
 	}
+	// Re-propagated sizes change fragment costs; drop memoized choices.
+	e.fragMu.Lock()
+	e.fragCache = map[string]fragChoice{}
+	e.fragMu.Unlock()
 	return e, nil
 }
 

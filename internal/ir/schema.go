@@ -33,6 +33,12 @@ func RegisterUDFSchema(name string, fn UDFSchemaFn) {
 // the body's input relations take the schemas of the outer operators named
 // by the loop-carried mapping.
 func (d *DAG) InferSchemas() (map[*Op]relation.Schema, error) {
+	d.inferMu.Lock()
+	defer d.inferMu.Unlock()
+	return d.inferLocked()
+}
+
+func (d *DAG) inferLocked() (map[*Op]relation.Schema, error) {
 	ops, err := d.TopoSort()
 	if err != nil {
 		return nil, err
@@ -46,6 +52,23 @@ func (d *DAG) InferSchemas() (map[*Op]relation.Schema, error) {
 		out[op] = s
 	}
 	return out, nil
+}
+
+// inferBodySchemas binds outer input schemas onto a WHILE body's input
+// operators and infers the body, all under the body DAG's lock — the
+// binding mutates shared ops, and concurrent jobs of one workflow may
+// infer over the same body.
+func (d *DAG) inferBodySchemas(outer map[string]relation.Schema) (map[*Op]relation.Schema, error) {
+	d.inferMu.Lock()
+	defer d.inferMu.Unlock()
+	for _, bop := range d.Ops {
+		if bop.Type == OpInput {
+			if s, ok := outer[bop.Out]; ok {
+				bop.Params.Schema = s
+			}
+		}
+	}
+	return d.inferLocked()
 }
 
 // OutputSchema returns the schema of a single operator given the inferred
@@ -274,14 +297,7 @@ func inferOp(op *Op, known map[*Op]relation.Schema) (relation.Schema, error) {
 		for i, outerIn := range op.Inputs {
 			outer[outerIn.Out] = in[i]
 		}
-		for _, bop := range body.Ops {
-			if bop.Type == OpInput {
-				if s, ok := outer[bop.Out]; ok {
-					bop.Params.Schema = s
-				}
-			}
-		}
-		bodySchemas, err := body.InferSchemas()
+		bodySchemas, err := body.inferBodySchemas(outer)
 		if err != nil {
 			return relation.Schema{}, fmt.Errorf("ir: %s body: %w", op, err)
 		}

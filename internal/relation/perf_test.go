@@ -1,0 +1,130 @@
+package relation
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// codecRelation builds a relation with mixed types and adversarial values
+// (empty strings, colons, negative floats) sized to exercise both codec
+// paths.
+func codecRelation(rows int) *Relation {
+	r := New("t", NewSchema("id:int", "w:float", "s:string"))
+	for i := 0; i < rows; i++ {
+		s := fmt.Sprintf("row:%d", i)
+		if i%7 == 0 {
+			s = ""
+		}
+		r.MustAppend(Row{
+			Int(int64(i - rows/2)),
+			Float(float64(i)*-0.25 + 0.5),
+			Str(s),
+		})
+	}
+	r.LogicalBytes = 1 << 20
+	return r
+}
+
+// TestParallelCodecMatchesSerial forces the chunk-parallel Encode/DecodeBytes
+// paths on small data and checks they are byte- and row-identical to the
+// serial paths.
+func TestParallelCodecMatchesSerial(t *testing.T) {
+	r := codecRelation(500)
+	old := CodecParallelThreshold
+	defer func() { CodecParallelThreshold = old }()
+
+	CodecParallelThreshold = 1 << 30 // force serial
+	serial := r.EncodeBytes()
+
+	CodecParallelThreshold = 1 // force parallel
+	parallel := r.EncodeBytes()
+	if !bytes.Equal(serial, parallel) {
+		t.Fatal("parallel Encode produced different bytes than serial")
+	}
+
+	dec, err := DecodeBytes("t", serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Rows) != len(r.Rows) {
+		t.Fatalf("decoded %d rows, want %d", len(dec.Rows), len(r.Rows))
+	}
+	for i := range r.Rows {
+		for j := range r.Rows[i] {
+			if !dec.Rows[i][j].Equal(r.Rows[i][j]) {
+				t.Fatalf("row %d col %d: %v != %v", i, j, dec.Rows[i][j], r.Rows[i][j])
+			}
+		}
+	}
+	if dec.LogicalBytes != r.LogicalBytes {
+		t.Errorf("logical bytes %d != %d", dec.LogicalBytes, r.LogicalBytes)
+	}
+}
+
+// BenchmarkRowKey compares the legacy allocation-per-row string key against
+// the hashed scratch-buffer key used by the group-by/join kernels.
+func BenchmarkRowKey(b *testing.B) {
+	rows := make([]Row, 1000)
+	for i := range rows {
+		rows[i] = Row{Int(int64(i % 64)), Float(float64(i) * 0.5), Str(fmt.Sprintf("s%d", i%32))}
+	}
+	cols := []int{0, 2}
+	b.Run("string", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				_ = r.Key(cols)
+			}
+		}
+	})
+	b.Run("hashed", func(b *testing.B) {
+		b.ReportAllocs()
+		var h KeyHasher
+		for i := 0; i < b.N; i++ {
+			for _, r := range rows {
+				_, _ = h.HashKey(r, cols)
+			}
+		}
+	})
+}
+
+// BenchmarkEncodeDecode measures the TSV codecs serially and chunk-parallel
+// on the same 20k-row relation.
+func BenchmarkEncodeDecode(b *testing.B) {
+	r := codecRelation(20000)
+	enc := r.EncodeBytes()
+	run := func(name string, threshold int, fn func(b *testing.B)) {
+		b.Run(name, func(b *testing.B) {
+			old := CodecParallelThreshold
+			CodecParallelThreshold = threshold
+			defer func() { CodecParallelThreshold = old }()
+			b.ReportAllocs()
+			fn(b)
+		})
+	}
+	run("encode-serial", 1<<30, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.EncodeBytes()
+		}
+	})
+	run("encode-parallel", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.EncodeBytes()
+		}
+	})
+	run("decode-serial", 1<<30, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBytes("t", enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("decode-parallel", 1, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBytes("t", enc); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

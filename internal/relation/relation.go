@@ -5,7 +5,10 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"runtime"
+	"strconv"
 	"strings"
+	"sync"
 )
 
 // Column is one named, typed column of a schema.
@@ -162,12 +165,20 @@ func (r *Relation) Clone() *Relation {
 	return c
 }
 
-// PhysicalBytes returns the encoded size of the relation's rows.
+// PhysicalBytes returns the encoded size of the relation's rows. It renders
+// numeric fields into a reused scratch buffer, so sizing a relation (which
+// every operator output pays for via scale propagation) allocates nothing.
 func (r *Relation) PhysicalBytes() int64 {
 	var n int64
+	var scratch []byte
 	for _, row := range r.Rows {
 		for _, v := range row {
-			n += int64(len(v.String())) + 1 // field + separator/newline
+			if v.Kind == KindString {
+				n += int64(len(v.S)) + 1 // field + separator/newline
+				continue
+			}
+			scratch = v.AppendText(scratch[:0])
+			n += int64(len(scratch)) + 1
 		}
 	}
 	return n
@@ -195,31 +206,117 @@ func (r *Relation) ScaleRatio() float64 {
 	return float64(r.LogicalBytes) / float64(phys)
 }
 
+// CodecParallelThreshold is the row count above which Encode and DecodeBytes
+// split row work across goroutines. Materializing intermediates on the DFS
+// between (simulated) Hadoop jobs funnels through these codecs, so large
+// relations encode/decode chunk-parallel; the chunk outputs are concatenated
+// in input order, so the byte stream and decoded row order are identical to
+// the serial paths. Tests lower it to exercise the parallel code on small
+// data.
+var CodecParallelThreshold = 8192
+
+// codecChunks splits [0, n) into roughly GOMAXPROCS contiguous ranges,
+// folding a tiny trailing remainder into the previous range.
+func codecChunks(n int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	size := (n + workers - 1) / workers
+	ranges := make([][2]int, 0, workers)
+	for lo := 0; lo < n; lo += size {
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		ranges = append(ranges, [2]int{lo, hi})
+	}
+	if k := len(ranges); k >= 2 && ranges[k-1][1]-ranges[k-1][0] < size/2 {
+		ranges[k-2][1] = ranges[k-1][1]
+		ranges = ranges[:k-1]
+	}
+	return ranges
+}
+
+// appendTSVRow appends one row in the TSV wire format.
+func appendTSVRow(dst []byte, row Row) []byte {
+	for i, v := range row {
+		if i > 0 {
+			dst = append(dst, '\t')
+		}
+		dst = v.AppendText(dst)
+	}
+	return append(dst, '\n')
+}
+
 // Encode writes the relation as a TSV stream with a two-line header:
 //
 //	#schema	name:kind	name:kind ...
 //	#logical	<bytes>
+//
+// Rows are rendered with AppendText into buffers (no per-field string
+// allocation); above CodecParallelThreshold the row chunks encode
+// concurrently and are written out in order.
 func (r *Relation) Encode(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	bw.WriteString("#schema")
+	buf := make([]byte, 0, 256)
+	buf = append(buf, "#schema"...)
 	for _, c := range r.Schema.Cols {
-		bw.WriteByte('\t')
-		bw.WriteString(c.Name)
-		bw.WriteByte(':')
-		bw.WriteString(c.Kind.String())
+		buf = append(buf, '\t')
+		buf = append(buf, c.Name...)
+		buf = append(buf, ':')
+		buf = append(buf, c.Kind.String()...)
 	}
-	bw.WriteByte('\n')
-	fmt.Fprintf(bw, "#logical\t%d\n", r.LogicalBytes)
-	for _, row := range r.Rows {
-		for i, v := range row {
-			if i > 0 {
-				bw.WriteByte('\t')
-			}
-			bw.WriteString(v.String())
+	buf = append(buf, '\n')
+	buf = append(buf, "#logical\t"...)
+	buf = strconv.AppendInt(buf, r.LogicalBytes, 10)
+	buf = append(buf, '\n')
+	if len(r.Rows) >= CodecParallelThreshold {
+		chunks := codecChunks(len(r.Rows))
+		encoded := make([][]byte, len(chunks))
+		var wg sync.WaitGroup
+		for ci, rg := range chunks {
+			wg.Add(1)
+			go func(ci, lo, hi int) {
+				defer wg.Done()
+				b := make([]byte, 0, (hi-lo)*16)
+				for _, row := range r.Rows[lo:hi] {
+					b = appendTSVRow(b, row)
+				}
+				encoded[ci] = b
+			}(ci, rg[0], rg[1])
 		}
-		bw.WriteByte('\n')
+		wg.Wait()
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+		for _, b := range encoded {
+			if _, err := w.Write(b); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
-	return bw.Flush()
+	for _, row := range r.Rows {
+		buf = appendTSVRow(buf, row)
+		if len(buf) >= 64<<10 {
+			if _, err := w.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if len(buf) > 0 {
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // EncodeBytes returns the Encode output as a byte slice.
@@ -283,9 +380,142 @@ func Decode(name string, rd io.Reader) (*Relation, error) {
 	return rel, sc.Err()
 }
 
-// DecodeBytes parses an EncodeBytes output.
+// DecodeBytes parses an EncodeBytes output. It is the DFS read path: unlike
+// the streaming Decode it can chunk the row section by newline boundaries
+// and parse the chunks concurrently (above CodecParallelThreshold), keeping
+// decoded row order identical to the serial scan.
 func DecodeBytes(name string, data []byte) (*Relation, error) {
-	return Decode(name, bytes.NewReader(data))
+	head, rest, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok && len(data) == 0 {
+		return nil, fmt.Errorf("relation %s: empty stream", name)
+	}
+	header := strings.Split(string(head), "\t")
+	if header[0] != "#schema" {
+		return nil, fmt.Errorf("relation %s: missing #schema header", name)
+	}
+	schema := Schema{}
+	for _, spec := range header[1:] {
+		colName, kindStr, ok := strings.Cut(spec, ":")
+		if !ok {
+			return nil, fmt.Errorf("relation %s: bad column spec %q", name, spec)
+		}
+		kind, err := ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		schema.Cols = append(schema.Cols, Column{Name: colName, Kind: kind})
+	}
+	rel := New(name, schema)
+	logLine, body, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok && len(logLine) == 0 {
+		return nil, fmt.Errorf("relation %s: missing #logical header", name)
+	}
+	logField, found := strings.CutPrefix(string(logLine), "#logical\t")
+	if !found {
+		return nil, fmt.Errorf("relation %s: bad #logical header %q", name, string(logLine))
+	}
+	logical, err := strconv.ParseInt(logField, 10, 64)
+	if err != nil {
+		return nil, fmt.Errorf("relation %s: bad #logical header %q", name, string(logLine))
+	}
+	rel.LogicalBytes = logical
+	// Cheap row estimate decides whether chunked parallel parsing pays off.
+	if bytes.Count(body, []byte{'\n'}) >= CodecParallelThreshold {
+		chunks := splitAtLines(body, runtime.GOMAXPROCS(0))
+		parts := make([][]Row, len(chunks))
+		errs := make([]error, len(chunks))
+		var wg sync.WaitGroup
+		for ci, chunk := range chunks {
+			wg.Add(1)
+			go func(ci int, chunk []byte) {
+				defer wg.Done()
+				parts[ci], errs[ci] = parseRows(name, schema, chunk)
+			}(ci, chunk)
+		}
+		wg.Wait()
+		total := 0
+		for ci := range chunks {
+			if errs[ci] != nil {
+				return nil, errs[ci]
+			}
+			total += len(parts[ci])
+		}
+		rel.Rows = make([]Row, 0, total)
+		for _, p := range parts {
+			rel.Rows = append(rel.Rows, p...)
+		}
+		return rel, nil
+	}
+	rel.Rows, err = parseRows(name, schema, body)
+	if err != nil {
+		return nil, err
+	}
+	return rel, nil
+}
+
+// splitAtLines cuts data into at most n chunks whose boundaries fall on
+// newline boundaries, preserving order and covering every byte.
+func splitAtLines(data []byte, n int) [][]byte {
+	if n < 1 {
+		n = 1
+	}
+	var chunks [][]byte
+	size := (len(data) + n - 1) / n
+	for lo := 0; lo < len(data); {
+		hi := lo + size
+		if hi >= len(data) {
+			chunks = append(chunks, data[lo:])
+			break
+		}
+		if j := bytes.IndexByte(data[hi:], '\n'); j >= 0 {
+			hi += j + 1
+		} else {
+			hi = len(data)
+		}
+		chunks = append(chunks, data[lo:hi])
+		lo = hi
+	}
+	return chunks
+}
+
+// parseRows parses a run of TSV row lines against the schema.
+func parseRows(name string, schema Schema, data []byte) ([]Row, error) {
+	arity := schema.Arity()
+	var rows []Row
+	if n := bytes.Count(data, []byte{'\n'}); n > 0 {
+		rows = make([]Row, 0, n+1)
+	}
+	for len(data) > 0 {
+		lineBytes, rest, _ := bytes.Cut(data, []byte{'\n'})
+		data = rest
+		if len(lineBytes) == 0 {
+			continue
+		}
+		// One string allocation per line; field substrings share it (string
+		// values in the decoded rows pin the line, as the scanner path did).
+		line := string(lineBytes)
+		row := make(Row, 0, arity)
+		for {
+			field, restF, found := strings.Cut(line, "\t")
+			if len(row) == arity {
+				return nil, fmt.Errorf("relation %s: row arity %d != %d", name, len(row)+1+strings.Count(restF, "\t"), arity)
+			}
+			v, err := ParseValue(schema.Cols[len(row)].Kind, field)
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, v)
+			if !found {
+				break
+			}
+			line = restF
+		}
+		if len(row) != arity {
+			return nil, fmt.Errorf("relation %s: row arity %d != %d", name, len(row), arity)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // SortRows orders rows lexicographically in place; used to compare engine

@@ -121,6 +121,78 @@ func TestRowKeyUnambiguous(t *testing.T) {
 	if r1.Key([]int{0, 1}) == r2.Key([]int{0, 1}) {
 		t.Error("row keys collide for distinct rows")
 	}
+
+	// The hashed key path (AppendKey + KeyHasher) must agree with the legacy
+	// string Key on group/join semantics: two rows are key-equal on one path
+	// iff they are on the other. The corpus is adversarial — empty strings,
+	// field boundaries that could shift, embedded ':' and tabs (the legacy
+	// separator and the TSV delimiter), negative floats, and the intentional
+	// Int/Float collision (both render "2", and legacy keys are built from
+	// renderings).
+	rows := []Row{
+		{Str("ab"), Str("c")},
+		{Str("a"), Str("bc")},
+		{Str(""), Str("")},
+		{Str(""), Str("abc")},
+		{Str("abc"), Str("")},
+		{Str("a:b"), Str("c")},
+		{Str("a"), Str("b:c")},
+		{Str("a\tb"), Str("c")},
+		{Str("a"), Str("b\tc")},
+		{Str("a\n"), Str("b")},
+		{Int(-1), Str("")},
+		{Float(-1), Str("")},
+		{Float(-1.5), Str("x")},
+		{Float(-0.5), Str("x")},
+		{Int(2), Str("x")},
+		{Float(2), Str("x")},
+	}
+	cols := []int{0, 1}
+	var h KeyHasher
+	type enc struct {
+		legacy string
+		key    []byte
+		hash   uint64
+	}
+	encs := make([]enc, len(rows))
+	for i, r := range rows {
+		hash, key := h.HashKey(r, cols)
+		encs[i] = enc{legacy: r.Key(cols), key: append([]byte(nil), key...), hash: hash}
+	}
+	for i := range rows {
+		for j := range rows {
+			legacyEq := encs[i].legacy == encs[j].legacy
+			hashedEq := string(encs[i].key) == string(encs[j].key)
+			if legacyEq != hashedEq {
+				t.Errorf("rows %v and %v: legacy equal=%v, hashed equal=%v", rows[i], rows[j], legacyEq, hashedEq)
+			}
+			if hashedEq && encs[i].hash != encs[j].hash {
+				t.Errorf("rows %v and %v: equal keys but different hashes", rows[i], rows[j])
+			}
+		}
+	}
+	// Sanity: the rendering-collision pairs really do collide on both paths.
+	if encs[10].legacy != encs[11].legacy || string(encs[10].key) != string(encs[11].key) {
+		t.Error("Int(-1) and Float(-1) should be key-equal (both render \"-1\")")
+	}
+	if encs[14].legacy != encs[15].legacy || string(encs[14].key) != string(encs[15].key) {
+		t.Error("Int(2) and Float(2) should be key-equal (both render \"2\")")
+	}
+}
+
+func TestRowKeyQuick(t *testing.T) {
+	// For random single-column int rows, hashed-key equality must track value
+	// equality exactly (the hash itself may collide; the encoded bytes never).
+	var h1, h2 KeyHasher
+	f := func(a, b int64) bool {
+		ra, rb := Row{Int(a)}, Row{Int(b)}
+		_, ka := h1.HashKey(ra, []int{0})
+		_, kb := h2.HashKey(rb, []int{0})
+		return (string(ka) == string(kb)) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
 }
 
 func TestNewSchemaAndIndex(t *testing.T) {

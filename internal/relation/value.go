@@ -111,6 +111,19 @@ func (v Value) String() string {
 	}
 }
 
+// AppendText appends the String rendering of v to dst without allocating an
+// intermediate string; it is the codec- and key-building primitive.
+func (v Value) AppendText(dst []byte) []byte {
+	switch v.Kind {
+	case KindInt:
+		return strconv.AppendInt(dst, v.I, 10)
+	case KindFloat:
+		return strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	default:
+		return append(dst, v.S...)
+	}
+}
+
 // ParseValue parses field text into a value of the given kind.
 func ParseValue(kind Kind, field string) (Value, error) {
 	switch kind {
@@ -234,6 +247,10 @@ func (r Row) Clone() Row {
 
 // Key renders the projection of r onto cols as a join/group key.
 // The encoding is unambiguous: fields are length-prefixed.
+//
+// This is the legacy string path, kept as the reference semantics for the
+// hashed key path (AppendKey/KeyHasher) the hot kernels use: two rows have
+// equal Keys iff they have equal AppendKey encodings.
 func (r Row) Key(cols []int) string {
 	var b strings.Builder
 	for _, c := range cols {
@@ -243,4 +260,21 @@ func (r Row) Key(cols []int) string {
 		b.WriteString(s)
 	}
 	return b.String()
+}
+
+// AppendKey appends an unambiguous binary encoding of the projection of r
+// onto cols to dst and returns the extended slice. Each field is written as
+// its textual rendering followed by a fixed 4-byte little-endian length
+// suffix, so encodings are equal exactly when the projected field renderings
+// are equal — the same equality Key defines — while allocating nothing once
+// dst has capacity. The hot kernels hash this encoding (see KeyHasher) and
+// keep the bytes for collision verification.
+func (r Row) AppendKey(dst []byte, cols []int) []byte {
+	for _, c := range cols {
+		start := len(dst)
+		dst = r[c].AppendText(dst)
+		n := uint32(len(dst) - start)
+		dst = append(dst, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+	}
+	return dst
 }
