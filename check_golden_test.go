@@ -1,0 +1,129 @@
+package musketeer
+
+// Golden tests for the workflow analyzer: each front-end has a deliberately
+// broken workflow under testdata/check/ and the analyzer must report every
+// defect — with severities, operator locations, and front-end provenance —
+// in one run, byte-for-byte matching the .golden file. Regenerate with
+//
+//	go test -run TestCheckGolden -update .
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"musketeer/internal/analysis"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/check/*.golden from current analyzer output")
+
+func checkCatalog() Catalog {
+	return Catalog{
+		"lineitem":   {Path: "in/lineitem", Schema: NewSchema("l_partkey:int", "l_quantity:float")},
+		"purchases":  {Path: "in/purchases", Schema: NewSchema("uid:int", "region:string", "value:float")},
+		"properties": {Path: "in/properties", Schema: NewSchema("id:int", "street:string", "town:string")},
+		"prices":     {Path: "in/prices", Schema: NewSchema("id:int", "price:float")},
+		"vertices":   {Path: "in/vertices", Schema: NewSchema("vertex:int", "vertex_value:float")},
+		"edges":      {Path: "in/edges", Schema: NewSchema("src:int", "dst:int", "degree:int")},
+	}
+}
+
+// compileReport compiles a workflow expected to carry analyzer errors and
+// recovers the full report through the front-end error wrapping.
+func compileReport(t *testing.T, err error) *Report {
+	t.Helper()
+	if err == nil {
+		t.Fatal("compile unexpectedly succeeded; the workflow is supposed to be broken")
+	}
+	var aerr *analysis.Error
+	if !errors.As(err, &aerr) {
+		t.Fatalf("error does not wrap *analysis.Error: %v", err)
+	}
+	return aerr.Report
+}
+
+func TestCheckGolden(t *testing.T) {
+	m := New()
+	cat := checkCatalog()
+	cases := []struct {
+		name    string
+		compile func(src string) error
+	}{
+		{"broken.hive", func(src string) error { _, err := m.CompileHive(src, cat); return err }},
+		{"broken.beer", func(src string) error { _, err := m.CompileBEER(src, cat); return err }},
+		{"broken.pig", func(src string) error { _, err := m.CompilePig(src, cat); return err }},
+		{"broken.gas", func(src string) error {
+			_, err := m.CompileGAS(src, cat, GASConfig{Vertices: "vertices", Edges: "edges", Output: "ranks"})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := os.ReadFile(filepath.Join("testdata", "check", tc.name))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := compileReport(t, tc.compile(string(src)))
+			assertGolden(t, tc.name+".golden", rep)
+		})
+	}
+}
+
+// The Lindi front-end is programmatic, so its broken workflow is built in
+// code rather than read from a file; the golden output is checked the same
+// way.
+func TestCheckGoldenLindi(t *testing.T) {
+	m := New()
+	b := NewLindiBuilder(checkCatalog())
+	b.From("purchases").Select("uid", "nope").Named("x")
+	b.From("properties").Select("id", "ghost").Named("y")
+	b.From("vertices") // referenced but never consumed: dead input
+	_, err := m.CompileLindi(b)
+	rep := compileReport(t, err)
+	assertGolden(t, "broken.lindi.golden", rep)
+}
+
+func assertGolden(t *testing.T, name string, rep *Report) {
+	t.Helper()
+	got := rep.String()
+	path := filepath.Join("testdata", "check", name)
+	if *updateGolden {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestCheckGolden -update .` to create it)", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("analyzer output changed.\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// The acceptance bar for the analyzer: a workflow with several seeded
+// defects yields every one of them in a single run, each pinned to an
+// operator and a front-end source line.
+func TestCheckReportsAllDefectsAtOnce(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "check", "broken.hive"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cerr := New().CompileHive(string(src), checkCatalog())
+	rep := compileReport(t, cerr)
+	if n := len(rep.Errors()); n < 3 {
+		t.Fatalf("want >= 3 errors in one run, got %d:\n%s", n, rep)
+	}
+	for _, d := range rep.Errors() {
+		if d.OpID < 0 || d.Op == "" {
+			t.Errorf("error lacks an operator location: %s", d)
+		}
+		if !strings.HasPrefix(d.Prov.String(), "hive:") {
+			t.Errorf("error lacks hive line provenance: %s", d)
+		}
+	}
+}

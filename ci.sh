@@ -1,15 +1,21 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then the suite again under the race
-# detector. The race pass matters here — the kernels, TSV codecs, and the
-# exhaustive partitioner all shard work across goroutines, and the shared
-# maphash seed / estimator fragment cache are exactly the kind of state a
-# race would corrupt silently.
+# CI gate: vet, mklint, build, full test suite, then the suite again under
+# the race detector. The race pass matters here — the kernels, TSV codecs,
+# and the exhaustive partitioner all shard work across goroutines, and the
+# shared maphash seed / estimator fragment cache are exactly the kind of
+# state a race would corrupt silently. mklint enforces the source-level
+# invariants behind PR 1's kernel overhaul (no string row keys or clocks in
+# internal/exec, every engine registers a profile); the analyzer's golden
+# tests run as part of the normal test suite.
 set -eu
 
 cd "$(dirname "$0")"
 
 echo "== go vet =="
 go vet ./...
+
+echo "== mklint =="
+go run ./cmd/mklint ./...
 
 echo "== go build =="
 go build ./...

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// A Finding is one invariant violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Msg)
+}
+
+// Path prefixes (slash-separated, module-relative) each rule applies to.
+var (
+	hotPathDirs     = []string{"internal/exec/"}
+	determinismDirs = []string{"internal/exec/", "internal/relation/"}
+	engineDirs      = []string{"internal/engines/"}
+)
+
+func underAny(path string, dirs []string) bool {
+	for _, d := range dirs {
+		if strings.HasPrefix(path, d) {
+			return true
+		}
+	}
+	return false
+}
+
+// lintFile checks one parsed file against every rule whose directory scope
+// contains relpath (slash-separated, relative to the module root). Test
+// files must be filtered out by the caller; the invariants govern shipped
+// kernel code only.
+func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
+	var out []Finding
+	add := func(pos token.Pos, rule, format string, args ...any) {
+		out = append(out, Finding{Pos: fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	if underAny(relpath, determinismDirs) {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			switch p {
+			case "time", "math/rand", "math/rand/v2":
+				add(imp.Pos(), "determinism",
+					"import of %q: kernel code must be deterministic and clock-free (inject values from the caller)", p)
+			}
+		}
+	}
+
+	hotPath := underAny(relpath, hotPathDirs)
+	engines := underAny(relpath, engineDirs)
+	if !hotPath && !engines {
+		return out
+	}
+
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if !hotPath {
+				return true
+			}
+			if name, ok := fmtStringCall(n.Fun); ok {
+				add(n.Pos(), "hot-path-keys",
+					"fmt.%s in exec hot path: build row keys with hashed/typed keys, not formatted strings", name)
+			}
+		case *ast.BinaryExpr:
+			if !hotPath {
+				return true
+			}
+			if n.Op == token.ADD && (isStringLit(n.X) || isStringLit(n.Y)) {
+				add(n.Pos(), "hot-path-keys",
+					"string concatenation in exec hot path: build row keys with hashed/typed keys, not string building")
+			}
+		case *ast.CompositeLit:
+			if !engines {
+				return true
+			}
+			if !isEngineType(n.Type) {
+				return true
+			}
+			if !hasProfField(n) {
+				add(n.Pos(), "engine-profile",
+					"Engine literal without a prof: field — every engine must register a capability/cost profile")
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// fmtStringCall reports whether fun is a call target of the form
+// fmt.<string-building function>.
+func fmtStringCall(fun ast.Expr) (string, bool) {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	if !ok || pkg.Name != "fmt" {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "Sprintf", "Sprint", "Sprintln", "Appendf", "Append", "Appendln":
+		return sel.Sel.Name, true
+	}
+	return "", false
+}
+
+func isStringLit(e ast.Expr) bool {
+	lit, ok := e.(*ast.BasicLit)
+	return ok && lit.Kind == token.STRING
+}
+
+// isEngineType matches the literal's type expression against Engine or
+// pkg.Engine (syntactic — mklint deliberately avoids go/types so it can
+// run as a dependency-free CI gate).
+func isEngineType(t ast.Expr) bool {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name == "Engine"
+	case *ast.SelectorExpr:
+		return t.Sel.Name == "Engine"
+	}
+	return false
+}
+
+func hasProfField(lit *ast.CompositeLit) bool {
+	for _, el := range lit.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "prof" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func lintSource(t *testing.T, relpath, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, relpath, src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return lintFile(fset, relpath, f)
+}
+
+// Every invariant class must fire on a seeded violation.
+func TestSeededViolations(t *testing.T) {
+	cases := []struct {
+		name, path, src, rule string
+	}{
+		{
+			name: "sprintf row key in exec",
+			path: "internal/exec/bad.go",
+			src: `package exec
+import "fmt"
+func key(a, b string) string { return fmt.Sprintf("%s|%s", a, b) }`,
+			rule: "hot-path-keys",
+		},
+		{
+			name: "sprint in exec",
+			path: "internal/exec/bad.go",
+			src: `package exec
+import "fmt"
+func key(v any) string { return fmt.Sprint(v) }`,
+			rule: "hot-path-keys",
+		},
+		{
+			name: "string concat row key in exec",
+			path: "internal/exec/bad.go",
+			src: `package exec
+func key(a, b string) string { return a + "|" + b }`,
+			rule: "hot-path-keys",
+		},
+		{
+			name: "time import in exec",
+			path: "internal/exec/clock.go",
+			src: `package exec
+import "time"
+var t0 = time.Now()`,
+			rule: "determinism",
+		},
+		{
+			name: "math/rand import in exec",
+			path: "internal/exec/shuffle.go",
+			src: `package exec
+import "math/rand"
+var r = rand.Int()`,
+			rule: "determinism",
+		},
+		{
+			name: "rand v2 import in relation",
+			path: "internal/relation/sample.go",
+			src: `package relation
+import "math/rand/v2"
+var r = rand.Int()`,
+			rule: "determinism",
+		},
+		{
+			name: "engine literal without profile",
+			path: "internal/engines/noprof.go",
+			src: `package engines
+func Mystery() *Engine { return &Engine{name: "mystery", paradigm: ParadigmGeneral} }`,
+			rule: "engine-profile",
+		},
+		{
+			name: "qualified engine literal without profile",
+			path: "internal/engines/sub/noprof.go",
+			src: `package sub
+import "musketeer/internal/engines"
+var e = engines.Engine{}`,
+			rule: "engine-profile",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := lintSource(t, tc.path, tc.src)
+			if len(got) == 0 {
+				t.Fatalf("expected a finding, got none")
+			}
+			for _, f := range got {
+				if f.Rule != tc.rule {
+					t.Errorf("unexpected rule %q (want only %q): %s", f.Rule, tc.rule, f)
+				}
+			}
+			if !strings.Contains(got[0].String(), tc.path) {
+				t.Errorf("finding does not name the file: %s", got[0])
+			}
+		})
+	}
+}
+
+// The rules are directory-scoped: the same constructs outside the governed
+// packages are fine.
+func TestRulesAreScoped(t *testing.T) {
+	srcs := map[string]string{
+		"internal/core/report.go": `package core
+import ("fmt"; "time")
+func banner(d time.Duration) string { return "took " + fmt.Sprint(d) }`,
+		"cmd/musketeer/main.go": `package main
+import "fmt"
+func usage() string { return fmt.Sprintf("usage: %s", "musketeer") }`,
+	}
+	for path, src := range srcs {
+		if got := lintSource(t, path, src); len(got) != 0 {
+			t.Errorf("%s: unexpected findings: %v", path, got)
+		}
+	}
+}
+
+func TestCleanExecFile(t *testing.T) {
+	src := `package exec
+import "musketeer/internal/relation"
+func ident(r *relation.Relation) *relation.Relation { return r }`
+	if got := lintSource(t, "internal/exec/ok.go", src); len(got) != 0 {
+		t.Errorf("unexpected findings: %v", got)
+	}
+}
+
+// An Engine literal with a profile passes; map/slice literals of Engine
+// type must not be mistaken for Engine literals.
+func TestEngineProfilePresent(t *testing.T) {
+	src := `package engines
+func Ok() *Engine { return &Engine{name: "ok", prof: Profile{ProcMBps: 1}} }
+var byName = map[string]*Engine{}
+var all = []*Engine{Ok()}`
+	if got := lintSource(t, "internal/engines/ok.go", src); len(got) != 0 {
+		t.Errorf("unexpected findings: %v", got)
+	}
+}
+
+// The repository itself must be clean: this is the same gate ci.sh runs.
+func TestRepositoryIsClean(t *testing.T) {
+	findings, err := lintPatterns("../..", []string{"../../..."})
+	if err != nil {
+		t.Fatalf("lintPatterns: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"musketeer"
+	"musketeer/internal/analysis"
+	"musketeer/internal/engines"
+	"musketeer/internal/relation"
+)
+
+// runCheck implements `musketeer check`: compile the workflow, run the
+// multi-pass analyzer, pretty-print every diagnostic, and exit non-zero
+// when any is an error. Nothing is executed and no data is staged; tables
+// may be declared schema-only with -schema name=col:kind,col:kind.
+func runCheck(args []string) int {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	frontend := fs.String("frontend", "hive", "front-end framework: hive, beer, pig or gas")
+	workflowPath := fs.String("workflow", "", "workflow source file")
+	engine := fs.String("engine", "", "check engine feasibility against this engine only (default: all standard engines)")
+	matrix := fs.Bool("matrix", false, "print the engine capability matrix and exit")
+	gasVertices := fs.String("gas-vertices", "vertices", "GAS front-end: vertex table name")
+	gasEdges := fs.String("gas-edges", "edges", "GAS front-end: edge table name")
+	gasOutput := fs.String("gas-output", "result", "GAS front-end: output relation name")
+	tables := tableFlags{}
+	fs.Var(tables, "table", "declare a relation from a TSV file: name=file (repeatable; schema only, no data is staged)")
+	schemas := tableFlags{}
+	fs.Var(schemas, "schema", "declare a relation schema inline: name=col:kind,col:kind (repeatable)")
+	fs.Parse(args)
+
+	if *matrix {
+		fmt.Print(engines.CapabilityMatrix(engines.StandardEngines()))
+		return 0
+	}
+	if *workflowPath == "" {
+		fmt.Fprintln(os.Stderr, "missing -workflow")
+		return 2
+	}
+	src, err := os.ReadFile(*workflowPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	cat := musketeer.Catalog{}
+	for name, file := range tables {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table %s: %v\n", name, err)
+			return 2
+		}
+		rel, err := relation.DecodeBytes(name, data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "table %s: %v\n", name, err)
+			return 2
+		}
+		cat[name] = musketeer.Table{Path: "in/" + name, Schema: rel.Schema}
+	}
+	for name, spec := range schemas {
+		cat[name] = musketeer.Table{
+			Path:   "in/" + name,
+			Schema: musketeer.NewSchema(strings.Split(spec, ",")...),
+		}
+	}
+
+	m := musketeer.New()
+	var wf *musketeer.Workflow
+	switch *frontend {
+	case "hive":
+		wf, err = m.CompileHive(string(src), cat)
+	case "beer":
+		wf, err = m.CompileBEER(string(src), cat)
+	case "pig":
+		wf, err = m.CompilePig(string(src), cat)
+	case "gas":
+		wf, err = m.CompileGAS(string(src), cat, musketeer.GASConfig{
+			Vertices: *gasVertices, Edges: *gasEdges, Output: *gasOutput,
+		})
+	default:
+		fmt.Fprintf(os.Stderr, "unknown front-end %q\n", *frontend)
+		return 2
+	}
+	if err != nil {
+		// Compilation failed. When the failure is the analyzer's, its full
+		// report (warnings included) survives the front-end wrapping.
+		var aerr *analysis.Error
+		if errors.As(err, &aerr) {
+			return printReport(*workflowPath, aerr.Report)
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", *workflowPath, err)
+		return 1
+	}
+
+	var rep *musketeer.Report
+	if *engine != "" {
+		eng, ok := engines.Registry()[*engine]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown engine %q\n", *engine)
+			return 2
+		}
+		rep = analysis.AnalyzeWithEngines(wf.DAG(), []*engines.Engine{eng})
+	} else {
+		rep = wf.Check()
+	}
+	return printReport(*workflowPath, rep)
+}
+
+func printReport(path string, rep *musketeer.Report) int {
+	for _, d := range rep.Diags {
+		fmt.Printf("%s: %s\n", path, d)
+	}
+	fmt.Printf("%s: %d error(s), %d warning(s)\n", path, len(rep.Errors()), len(rep.Warnings()))
+	if rep.HasErrors() {
+		return 1
+	}
+	return 0
+}

@@ -10,6 +10,12 @@
 //
 // GAS workflows additionally need -gas-vertices / -gas-edges naming the
 // vertex and edge tables.
+//
+// The check subcommand runs the static analyzer only — no execution — and
+// pretty-prints every diagnostic (exit status 1 when any is an error):
+//
+//	musketeer check -frontend hive -workflow q17.hive \
+//	    -schema lineitem=l_partkey:int,l_quantity:float
 package main
 
 import (
@@ -37,6 +43,9 @@ func (t tableFlags) Set(v string) error {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "check" {
+		os.Exit(runCheck(os.Args[2:]))
+	}
 	frontend := flag.String("frontend", "hive", "front-end framework: hive, beer, pig or gas")
 	workflowPath := flag.String("workflow", "", "workflow source file")
 	engine := flag.String("engine", "auto", `back-end engine, or "auto" for automatic mapping`)

@@ -1,0 +1,166 @@
+// Package analysis implements Musketeer's multi-pass workflow analyzer.
+// It runs on every workflow before optimization and partitioning and
+// returns every diagnostic it finds — severity, operator, front-end
+// provenance, message — instead of stopping at the first error the way
+// plain schema inference does. Musketeer's whole pipeline (dead-operator
+// elimination, operator merging, engine mapping) assumes the DAG is
+// well-formed before the cost search runs; this package is where that
+// assumption is discharged, with diagnostics precise enough to act on.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"musketeer/internal/ir"
+)
+
+// Severity classifies a diagnostic.
+type Severity uint8
+
+const (
+	// Error diagnostics make the workflow invalid; compilation fails.
+	SevError Severity = iota
+	// Warning diagnostics flag suspect-but-executable constructs (dead
+	// operators, redundant shuffles, loops that cannot make progress).
+	SevWarning
+)
+
+// String renders the severity label used in diagnostic output.
+func (s Severity) String() string {
+	if s == SevError {
+		return "error"
+	}
+	return "warning"
+}
+
+// Diagnostic is one analyzer finding.
+type Diagnostic struct {
+	Severity Severity
+	// Pass names the analysis pass that produced the finding: structure,
+	// schema, liveness, loop, engines, or properties.
+	Pass string
+	// OpID is the offending operator's ID, or -1 for whole-DAG findings.
+	OpID int
+	// Op is the operator's compact rendering (TYPE#id(out)), if any.
+	Op string
+	// Prov is the operator's front-end provenance, if stamped.
+	Prov ir.Provenance
+	// Msg describes the defect.
+	Msg string
+}
+
+// String renders one line: severity, pass, operator, provenance, message.
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s [%s]", d.Severity, d.Pass)
+	if d.Op != "" {
+		b.WriteByte(' ')
+		b.WriteString(d.Op)
+	}
+	if p := d.Prov.String(); p != "" {
+		fmt.Fprintf(&b, " (%s)", p)
+	}
+	b.WriteString(": ")
+	b.WriteString(d.Msg)
+	return b.String()
+}
+
+// Report collects every diagnostic of one analysis run.
+type Report struct {
+	Diags []Diagnostic
+}
+
+func (r *Report) add(sev Severity, pass string, op *ir.Op, format string, args ...any) {
+	d := Diagnostic{Severity: sev, Pass: pass, OpID: -1, Msg: fmt.Sprintf(format, args...)}
+	if op != nil {
+		d.OpID = op.ID
+		d.Op = op.String()
+		d.Prov = op.Prov
+	}
+	r.Diags = append(r.Diags, d)
+}
+
+// sortDiags orders diagnostics deterministically: errors before warnings,
+// then by operator ID, then by message. Golden tests depend on this order.
+func (r *Report) sortDiags() {
+	sort.SliceStable(r.Diags, func(i, j int) bool {
+		a, b := r.Diags[i], r.Diags[j]
+		if a.Severity != b.Severity {
+			return a.Severity < b.Severity
+		}
+		if a.OpID != b.OpID {
+			return a.OpID < b.OpID
+		}
+		return a.Msg < b.Msg
+	})
+}
+
+// HasErrors reports whether any diagnostic is an error.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diags {
+		if d.Severity == SevError {
+			return true
+		}
+	}
+	return false
+}
+
+// Errors returns the error-severity diagnostics.
+func (r *Report) Errors() []Diagnostic { return r.filter(SevError) }
+
+// Warnings returns the warning-severity diagnostics.
+func (r *Report) Warnings() []Diagnostic { return r.filter(SevWarning) }
+
+func (r *Report) filter(sev Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diags {
+		if d.Severity == sev {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// String renders every diagnostic, one per line.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Err returns nil when the report contains no errors, otherwise an *Error
+// wrapping the full report (warnings included).
+func (r *Report) Err() error {
+	if !r.HasErrors() {
+		return nil
+	}
+	return &Error{Report: r}
+}
+
+// Error is the error returned for a workflow with error-severity
+// diagnostics. It carries the whole report so callers (the `musketeer
+// check` subcommand, tests) can recover every diagnostic with errors.As
+// even through front-end error wrapping.
+type Error struct {
+	Report *Report
+}
+
+// Error renders a summary line followed by every error diagnostic.
+func (e *Error) Error() string {
+	errs := e.Report.Errors()
+	var b strings.Builder
+	fmt.Fprintf(&b, "workflow analysis found %d error(s)", len(errs))
+	if nw := len(e.Report.Warnings()); nw > 0 {
+		fmt.Fprintf(&b, " and %d warning(s)", nw)
+	}
+	for _, d := range errs {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}

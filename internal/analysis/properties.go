@@ -1,0 +1,179 @@
+package analysis
+
+import (
+	"musketeer/internal/ir"
+)
+
+// Props are derived physical-layout facts about an operator's output
+// (pass 6). They are conservative: an absent fact means "unknown", never
+// "false". The property pass lints provably redundant operators with them,
+// and the cost estimator skips shuffle surcharges for repartitions that
+// provably collapse nothing.
+type Props struct {
+	// RowsUnique: no two output rows are equal.
+	RowsUnique bool
+	// UniqueKey lists columns whose combined values identify a row
+	// uniquely; nil means no key is known. A known key implies RowsUnique.
+	UniqueKey []string
+	// SortedBy is the key the output is known to be ordered by (with
+	// SortDesc giving the direction); nil means unknown order.
+	SortedBy []string
+	SortDesc bool
+}
+
+// PropagateProperties computes Props for every operator of the DAG,
+// including WHILE bodies. It never fails: operators whose facts cannot be
+// established (unknown inputs, malformed params) simply get no entry, so
+// it is safe to run on DAGs that carry other diagnostics.
+func PropagateProperties(d *ir.DAG) map[*ir.Op]Props {
+	props := map[*ir.Op]Props{}
+	propagateProps(d, props)
+	return props
+}
+
+func propagateProps(d *ir.DAG, props map[*ir.Op]Props) {
+	ops, err := d.TopoSort()
+	if err != nil {
+		return
+	}
+	for _, op := range ops {
+		if op.Params.Body != nil {
+			propagateProps(op.Params.Body, props)
+		}
+		var in Props
+		if len(op.Inputs) >= 1 {
+			in = props[op.Inputs[0]]
+		}
+		switch op.Type {
+		case ir.OpDistinct:
+			// Output rows are pairwise distinct by definition; an input key
+			// survives (deduplication cannot break it). The hash-based
+			// kernel does not preserve order.
+			p := Props{RowsUnique: true, UniqueKey: in.UniqueKey}
+			props[op] = p
+
+		case ir.OpAgg:
+			// One output row per group: the group-by columns are a key.
+			// An empty group-by aggregates to a single row.
+			p := Props{RowsUnique: true}
+			if len(op.Params.GroupBy) > 0 {
+				p.UniqueKey = append([]string(nil), op.Params.GroupBy...)
+			}
+			props[op] = p
+
+		case ir.OpSort:
+			p := in
+			p.SortedBy = append([]string(nil), op.Params.SortBy...)
+			p.SortDesc = op.Params.Desc
+			props[op] = p
+
+		case ir.OpSelect, ir.OpLimit:
+			// Filtering and truncation preserve both uniqueness and order.
+			props[op] = in
+
+		case ir.OpProject:
+			props[op] = projectProps(op, in)
+
+		case ir.OpArith:
+			// Adds or overwrites one column; rows are neither created nor
+			// reordered. Overwriting a key or sort column invalidates the
+			// respective fact.
+			p := in
+			if contains(p.UniqueKey, op.Params.Dst) {
+				p.UniqueKey = nil
+				p.RowsUnique = false
+			}
+			if contains(p.SortedBy, op.Params.Dst) {
+				p.SortedBy = nil
+			}
+			props[op] = p
+
+		case ir.OpJoin:
+			// If the right side is unique on the join key, each left row
+			// matches at most one right row, so a left unique key survives.
+			if len(op.Inputs) == 2 {
+				right := props[op.Inputs[1]]
+				if in.UniqueKey != nil && right.UniqueKey != nil &&
+					subset(right.UniqueKey, op.Params.RightCols) {
+					props[op] = Props{RowsUnique: true, UniqueKey: in.UniqueKey}
+				}
+			}
+
+		case ir.OpIntersect:
+			// Set semantics: the output is deduplicated.
+			props[op] = Props{RowsUnique: true}
+		}
+	}
+}
+
+// projectProps translates the input's facts through a projection: a fact
+// survives only if every column it names is kept, renamed consistently.
+func projectProps(op *ir.Op, in Props) Props {
+	rename := map[string]string{}
+	for i, col := range op.Params.Columns {
+		name := col
+		if len(op.Params.As) == len(op.Params.Columns) {
+			name = op.Params.As[i]
+		}
+		if _, dup := rename[col]; !dup {
+			rename[col] = name
+		}
+	}
+	translate := func(cols []string) []string {
+		if cols == nil {
+			return nil
+		}
+		out := make([]string, len(cols))
+		for i, c := range cols {
+			n, ok := rename[c]
+			if !ok {
+				return nil
+			}
+			out[i] = n
+		}
+		return out
+	}
+	p := Props{}
+	if key := translate(in.UniqueKey); key != nil {
+		// The key columns survive, so key-uniqueness (and hence row
+		// uniqueness) survives even though other columns were dropped.
+		p.UniqueKey = key
+		p.RowsUnique = true
+	}
+	p.SortedBy = translate(in.SortedBy)
+	p.SortDesc = in.SortDesc
+	return p
+}
+
+// SortCovered reports whether rows with properties p are already ordered
+// as SORT BY cols (desc) would order them: the requested key must be a
+// prefix of the known sort key, same direction.
+func SortCovered(p Props, cols []string, desc bool) bool {
+	if len(cols) == 0 || len(p.SortedBy) < len(cols) || p.SortDesc != desc {
+		return false
+	}
+	for i, c := range cols {
+		if p.SortedBy[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+func subset(xs, of []string) bool {
+	for _, x := range xs {
+		if !contains(of, x) {
+			return false
+		}
+	}
+	return true
+}
+
+func contains(xs []string, x string) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 	"sync"
 
+	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
@@ -64,6 +65,11 @@ type Estimator struct {
 	// reach[op] is the set of ops transitively reachable from op
 	// (descendants), used by the exhaustive partitioner's cycle check.
 	reach map[*ir.Op]map[*ir.Op]bool
+	// props holds the analyzer's propagated key-uniqueness/sortedness
+	// facts; shuffle surcharges are skipped for provably redundant
+	// repartitions (a DISTINCT over already-unique rows, a SORT over
+	// already-ordered rows, an AGG whose groups are single rows).
+	props map[*ir.Op]analysis.Props
 
 	// fragCache memoizes the cheapest engine/cost per (engine set, op
 	// group): partition searches — exhaustive branches, the DP heuristic's
@@ -88,6 +94,7 @@ func NewEstimator(dag *ir.DAG, fs *dfs.DFS, c *cluster.Cluster, h *History) (*Es
 		hashes:    map[*ir.DAG]string{},
 		reach:     map[*ir.Op]map[*ir.Op]bool{},
 		fragCache: map[string]fragChoice{},
+		props:     analysis.PropagateProperties(dag),
 	}
 	if fs != nil {
 		for _, path := range collectInputPaths(dag, nil) {
@@ -260,7 +267,7 @@ func (e *Estimator) addOpVolumes(v *engines.Volumes, ops []*ir.Op, eng *engines.
 		}
 		out := e.sizes[op]
 		b := (in + out) * iters
-		if ir.IsShuffleOp(op.Type) {
+		if ir.IsShuffleOp(op.Type) && !e.redundantShuffle(op) {
 			b = int64(float64(b) * shuf)
 			v.Shuffle += in * iters
 		}
@@ -277,6 +284,46 @@ func (e *Estimator) addOpVolumes(v *engines.Volumes, ops []*ir.Op, eng *engines.
 			v.Peak = peak
 		}
 	}
+}
+
+// redundantShuffle reports whether the operator's repartition provably
+// does no collapsing work, per the analyzer's propagated properties
+// (pass 6): deduplicating already-unique rows, re-sorting already-ordered
+// rows, or grouping rows that are each already their own group. The
+// operator still streams its data, but pays no shuffle surcharge.
+func (e *Estimator) redundantShuffle(op *ir.Op) bool {
+	if len(op.Inputs) == 0 {
+		return false
+	}
+	p, ok := e.props[op.Inputs[0]]
+	if !ok {
+		return false
+	}
+	switch op.Type {
+	case ir.OpDistinct:
+		return p.RowsUnique
+	case ir.OpSort:
+		return analysis.SortCovered(p, op.Params.SortBy, op.Params.Desc)
+	case ir.OpAgg:
+		return p.UniqueKey != nil && subsetOf(p.UniqueKey, op.Params.GroupBy)
+	}
+	return false
+}
+
+func subsetOf(xs, of []string) bool {
+	for _, x := range xs {
+		found := false
+		for _, o := range of {
+			if o == x {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
 }
 
 // whileCost scores an iterative fragment. Native-iteration engines run the

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
@@ -12,14 +13,23 @@ import (
 // AutoMap picks back-end execution engines automatically (paper §5.2): it
 // runs the DAG partitioning algorithm with every available engine in the
 // candidate set and returns the cheapest partitioning, which may combine
-// engines across jobs (§6.3).
+// engines across jobs (§6.3). The analyzer's engine-feasibility pass runs
+// first, so an operator no candidate engine can execute is rejected with a
+// per-operator diagnostic instead of surfacing as a failed search.
 func AutoMap(dag *ir.DAG, est *Estimator, engs []*engines.Engine) (*Partitioning, error) {
+	if err := analysis.CheckEngines(dag, engs).Err(); err != nil {
+		return nil, err
+	}
 	return Partition(dag, est, engs)
 }
 
 // MapTo partitions the workflow for one explicitly chosen engine
-// (the "user explicitly targets a back-end" path of §4.3).
+// (the "user explicitly targets a back-end" path of §4.3), after checking
+// that engine can execute every operator at all.
 func MapTo(dag *ir.DAG, est *Estimator, eng *engines.Engine) (*Partitioning, error) {
+	if err := analysis.CheckEngines(dag, []*engines.Engine{eng}).Err(); err != nil {
+		return nil, err
+	}
 	return Partition(dag, est, []*engines.Engine{eng})
 }
 

@@ -23,9 +23,16 @@ import (
 //  3. SELECT fusion: two stacked filters merge into one conjunctive
 //     predicate, saving an operator (and a pass, on naive back-ends).
 //
+//  4. Dead-input removal: INPUT operators nothing consumes are dropped —
+//     the optimizer-side consumption of the analyzer's liveness pass
+//     (which flags the same operators as warnings). Loop-carried body
+//     inputs are kept even when unread: the carry contract names them.
+//
 // Rewrites only fire when the rewritten operator is the sole consumer of
 // its input, so shared intermediates keep their original semantics.
-func Optimize(dag *ir.DAG) int {
+func Optimize(dag *ir.DAG) int { return optimize(dag, nil) }
+
+func optimize(dag *ir.DAG, keepInputs map[string]bool) int {
 	rewrites := 0
 	for {
 		n := optimizePass(dag)
@@ -34,12 +41,36 @@ func Optimize(dag *ir.DAG) int {
 			break
 		}
 	}
+	rewrites += removeDeadInputs(dag, keepInputs)
 	for _, op := range dag.Ops {
 		if op.Params.Body != nil {
-			rewrites += Optimize(op.Params.Body)
+			bkeep := make(map[string]bool, len(op.Params.Carried))
+			for in := range op.Params.Carried {
+				bkeep[in] = true
+			}
+			rewrites += optimize(op.Params.Body, bkeep)
 		}
 	}
 	return rewrites
+}
+
+// removeDeadInputs drops INPUT operators with no consumers in dag, except
+// those whose relation names appear in keep (loop-carried inputs: the
+// WHILE re-binds them by name every iteration even if the body text never
+// reads them). Returns the number of operators removed.
+func removeDeadInputs(dag *ir.DAG, keep map[string]bool) int {
+	removed := 0
+	cons := dag.Consumers()
+	live := dag.Ops[:0]
+	for _, op := range dag.Ops {
+		if op.Type == ir.OpInput && len(cons[op]) == 0 && !keep[op.Out] {
+			removed++
+			continue
+		}
+		live = append(live, op)
+	}
+	dag.Ops = live
+	return removed
 }
 
 func optimizePass(dag *ir.DAG) int {

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
@@ -40,6 +41,12 @@ type WorkflowResult struct {
 // simulated makespan is the critical path either way. Workflow outputs
 // land in the DFS under their relation names.
 func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, error) {
+	// Last line of defense: the analyzer runs once more before anything
+	// touches the DFS, so a DAG mutated after compilation (or built by a
+	// buggy rewrite) fails with full diagnostics instead of mid-run.
+	if err := analysis.Analyze(dag).Err(); err != nil {
+		return nil, err
+	}
 	dagHash := dag.Hash()
 	n := len(part.Jobs)
 

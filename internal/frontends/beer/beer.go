@@ -27,6 +27,9 @@ import (
 	"fmt"
 	"strings"
 
+	// Linking the analyzer makes dag.Validate() report every diagnostic
+	// of the workflow (multi-error, with provenance), not just the first.
+	_ "musketeer/internal/analysis"
 	"musketeer/internal/frontends"
 	"musketeer/internal/ir"
 	"musketeer/internal/relation"
@@ -70,9 +73,17 @@ func (p *parser) statements(done func() (bool, error)) error {
 		if stop {
 			return nil
 		}
+		t, err := p.lex.Peek()
+		if err != nil {
+			return err
+		}
+		mark := len(p.dag.Ops)
 		if err := p.statement(); err != nil {
 			return err
 		}
+		// Stamp provenance per statement; body parsers run this same loop
+		// over their own DAG, so loop-body operators get their own lines.
+		p.dag.StampProv("beer", t.Line, mark)
 	}
 }
 

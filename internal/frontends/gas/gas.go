@@ -34,6 +34,9 @@ import (
 	"fmt"
 	"strings"
 
+	// Linking the analyzer makes dag.Validate() report every diagnostic
+	// of the workflow (multi-error, with provenance), not just the first.
+	_ "musketeer/internal/analysis"
 	"musketeer/internal/frontends"
 	"musketeer/internal/ir"
 	"musketeer/internal/relation"
@@ -163,6 +166,9 @@ func Parse(src string, cat frontends.Catalog, cfg Config) (*ir.DAG, error) {
 		MaxIter: maxIter,
 		Carried: map[string]string{cfg.Vertices: "__new_vertices"},
 	}, vertices, edges)
+	// The whole program lowers to one WHILE, so every operator shares the
+	// front-end provenance (no useful per-section line mapping survives).
+	dag.StampProv("gas", 0, 0)
 	if err := dag.Validate(); err != nil {
 		return nil, fmt.Errorf("gas: %w", err)
 	}

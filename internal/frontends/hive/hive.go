@@ -20,6 +20,9 @@ import (
 	"fmt"
 	"strings"
 
+	// Linking the analyzer makes dag.Validate() report every diagnostic
+	// of the workflow (multi-error, with provenance), not just the first.
+	_ "musketeer/internal/analysis"
 	"musketeer/internal/frontends"
 	"musketeer/internal/ir"
 )
@@ -48,9 +51,13 @@ func Parse(src string, cat frontends.Catalog) (*ir.DAG, error) {
 		if t.Kind == frontends.TokEOF {
 			break
 		}
+		mark := len(p.dag.Ops)
 		if err := p.statement(); err != nil {
 			return nil, err
 		}
+		// Stamp every operator the statement added with its source line so
+		// analyzer diagnostics point back at the workflow text.
+		p.dag.StampProv("hive", t.Line, mark)
 	}
 	if len(p.dag.Ops) == 0 {
 		return nil, fmt.Errorf("hive: empty workflow")

@@ -17,6 +17,9 @@ package lindi
 import (
 	"fmt"
 
+	// Linking the analyzer makes dag.Validate() report every diagnostic
+	// of the workflow (multi-error, with provenance), not just the first.
+	_ "musketeer/internal/analysis"
 	"musketeer/internal/frontends"
 	"musketeer/internal/ir"
 	"musketeer/internal/relation"
@@ -77,6 +80,9 @@ func (b *Builder) Build() (*ir.DAG, error) {
 	if len(b.dag.Ops) == 0 {
 		return nil, fmt.Errorf("lindi: empty workflow")
 	}
+	// Programmatic builder: no source lines, but diagnostics still name
+	// the originating front-end.
+	b.dag.StampProv("lindi", 0, 0)
 	if err := b.dag.Validate(); err != nil {
 		return nil, fmt.Errorf("lindi: %w", err)
 	}

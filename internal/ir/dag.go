@@ -20,6 +20,10 @@ type DAG struct {
 	// infer over the same shared DAG at once.
 	inferMu sync.Mutex
 	nextID int
+	// defects records structural problems observed while manipulating the
+	// DAG (e.g. Clone finding an edge to an operator outside the DAG).
+	// The analyzer surfaces them as diagnostics instead of crashing.
+	defects []string
 }
 
 // NewDAG returns an empty DAG.
@@ -136,9 +140,36 @@ func (d *DAG) TopoSort() ([]*Op, error) {
 	return order, nil
 }
 
-// Validate topo-sorts the DAG, checks relation-name uniqueness, and runs
-// schema inference over every operator (including WHILE bodies).
+// analyzeHook is the full multi-pass analyzer Validate delegates to. It is
+// installed by internal/analysis's init (a registration hook because
+// analysis imports ir, so ir cannot import it back). When no analyzer is
+// linked in, Validate falls back to the built-in first-error checks.
+var analyzeHook func(*DAG) error
+
+// RegisterAnalyzer installs the workflow analyzer Validate delegates to.
+func RegisterAnalyzer(fn func(*DAG) error) { analyzeHook = fn }
+
+// Validate checks the DAG is well-formed. When the internal/analysis
+// package is linked in it delegates to the multi-pass analyzer (which
+// reports every diagnostic, not just the first); otherwise it topo-sorts,
+// checks relation-name uniqueness — descending into WHILE bodies — and runs
+// schema inference over every operator.
 func (d *DAG) Validate() error {
+	if analyzeHook != nil {
+		return analyzeHook(d)
+	}
+	if err := d.ValidateStructure(); err != nil {
+		return err
+	}
+	_, err := d.InferSchemas()
+	return err
+}
+
+// ValidateStructure topo-sorts the DAG and checks relation names are
+// non-empty and unique. Names are scoped per DAG: a WHILE body deliberately
+// reuses outer relation names for its input bridges, so each body is
+// checked as its own namespace.
+func (d *DAG) ValidateStructure() error {
 	if _, err := d.TopoSort(); err != nil {
 		return err
 	}
@@ -152,14 +183,36 @@ func (d *DAG) Validate() error {
 		}
 		seen[op.Out] = true
 	}
-	_, err := d.InferSchemas()
-	return err
+	for _, op := range d.Ops {
+		if op.Params.Body != nil {
+			if err := op.Params.Body.ValidateStructure(); err != nil {
+				return fmt.Errorf("ir: %s body: %w", op, err)
+			}
+		}
+	}
+	return nil
 }
+
+// StampProv stamps front-end provenance onto d.Ops[from:] (and their WHILE
+// bodies), leaving already-stamped operators alone. Front-ends call it once
+// per translated statement with the statement's source line.
+func (d *DAG) StampProv(frontend string, line, from int) {
+	if from < 0 || from > len(d.Ops) {
+		return
+	}
+	for _, op := range d.Ops[from:] {
+		op.stampProv(frontend, line)
+	}
+}
+
+// Defects returns structural problems recorded while manipulating the DAG.
+func (d *DAG) Defects() []string { return d.defects }
 
 // Clone deep-copies the DAG (including WHILE bodies). Operator IDs are
 // preserved so partitionings computed on a clone map back to the original.
 func (d *DAG) Clone() *DAG {
 	c := &DAG{nextID: d.nextID}
+	c.defects = append(c.defects, d.defects...)
 	mapping := make(map[*Op]*Op, len(d.Ops))
 	for _, op := range d.Ops {
 		nop := &Op{ID: op.ID, Type: op.Type, Out: op.Out, Params: op.Params}
@@ -180,9 +233,14 @@ func (d *DAG) Clone() *DAG {
 		for _, in := range op.Inputs {
 			nin, ok := mapping[in]
 			if !ok {
-				// Input outside this DAG (WHILE bodies reference outer
-				// ops only via relation names, so this is a bug).
-				panic(fmt.Sprintf("ir: clone: edge to foreign op %s", in))
+				// Input outside this DAG (WHILE bodies reference outer ops
+				// only via relation names, so this is a malformed front-end
+				// DAG). Drop the edge and record the defect; the analyzer's
+				// structural pass reports it as a diagnostic instead of the
+				// whole process crashing.
+				c.defects = append(c.defects,
+					fmt.Sprintf("%s has input %s outside the DAG (dropped while cloning)", op, in))
+				continue
 			}
 			nop.Inputs = append(nop.Inputs, nin)
 		}

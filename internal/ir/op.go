@@ -346,6 +346,27 @@ type Params struct {
 	Carried map[string]string
 }
 
+// Provenance records which front-end framework produced an operator and
+// the source line it was translated from. Diagnostics use it to point the
+// user back at their workflow text rather than at IR internals. The zero
+// value means "unknown" (hand-built DAGs).
+type Provenance struct {
+	Frontend string
+	Line     int
+}
+
+// String renders "frontend:line", or just the front-end name when no line
+// is known, or "" for the zero value.
+func (p Provenance) String() string {
+	if p.Frontend == "" {
+		return ""
+	}
+	if p.Line <= 0 {
+		return p.Frontend
+	}
+	return fmt.Sprintf("%s:%d", p.Frontend, p.Line)
+}
+
 // Op is one node of the IR DAG. Inputs are edges to producing operators;
 // Out names the operator's output relation (unique within a DAG).
 type Op struct {
@@ -354,6 +375,21 @@ type Op struct {
 	Out    string
 	Inputs []*Op
 	Params Params
+	// Prov is the front-end provenance of the operator, if known.
+	Prov Provenance
+}
+
+// stampProv fills in provenance on the operator and (recursively) its WHILE
+// body, without overwriting provenance already stamped by a nested parser.
+func (o *Op) stampProv(frontend string, line int) {
+	if o.Prov.Frontend == "" {
+		o.Prov = Provenance{Frontend: frontend, Line: line}
+	}
+	if o.Params.Body != nil {
+		for _, bop := range o.Params.Body.Ops {
+			bop.stampProv(frontend, line)
+		}
+	}
 }
 
 // String renders a compact description for plans and error messages.

@@ -30,6 +30,7 @@ import (
 	"sort"
 	"strings"
 
+	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
 	"musketeer/internal/core"
 	"musketeer/internal/dfs"
@@ -228,6 +229,18 @@ func (m *Musketeer) FromDAG(dag *ir.DAG) (*Workflow, error) {
 
 // DAG exposes the workflow's intermediate representation.
 func (w *Workflow) DAG() *ir.DAG { return w.dag }
+
+// Report is the workflow analyzer's full diagnostic report.
+type Report = analysis.Report
+
+// Check runs the multi-pass workflow analyzer against the deployment's
+// registered engines and returns the full report — warnings included.
+// Compilation already fails on error-severity diagnostics; Check is how
+// callers (and the `musketeer check` subcommand) surface the rest: dead
+// operators, suspicious loops, redundant shuffles.
+func (w *Workflow) Check() *Report {
+	return analysis.AnalyzeWithEngines(w.dag, w.standardEngines())
+}
 
 // Optimize applies the IR rewrite rules; returns the number of rewrites.
 func (w *Workflow) Optimize() int { return core.Optimize(w.dag) }

@@ -1,0 +1,7 @@
+a = FOREACH properties GENERATE id, nope;
+b = FOREACH properties GENERATE id, street;
+c = FOREACH prices GENERATE id, price;
+j = JOIN b BY id, c BY ghost;
+u = UNION b, c;
+d = DISTINCT c;
+e = DISTINCT d;
