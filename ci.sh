@@ -1,12 +1,16 @@
 #!/bin/sh
 # CI gate: vet, mklint, build, full test suite, then the suite again under
 # the race detector. The race pass matters here — the kernels, TSV codecs,
-# and the exhaustive partitioner all shard work across goroutines, and the
-# shared maphash seed / estimator fragment cache are exactly the kind of
-# state a race would corrupt silently. mklint enforces the source-level
+# the exhaustive partitioner, and the job scheduler all shard work across
+# goroutines, and concurrent workflow executions share the DFS state, the
+# history store, and the estimator fragment cache — exactly the kind of
+# state a race would corrupt silently (the concurrent-Execute stress tests
+# only mean something under -race). mklint enforces the source-level
 # invariants behind PR 1's kernel overhaul (no string row keys or clocks in
-# internal/exec, every engine registers a profile); the analyzer's golden
-# tests run as part of the normal test suite.
+# internal/exec, every engine registers a profile) and PR 3's scheduler
+# refactor (no bare go statements in internal/core or internal/engines —
+# concurrency goes through internal/sched); the analyzer's golden tests run
+# as part of the normal test suite.
 set -eu
 
 cd "$(dirname "$0")"

@@ -20,11 +20,37 @@ import (
 func main() {
 	runID := flag.String("run", "", "run only the experiment with this ID (e.g. fig7)")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
+	concurrency := flag.Int("concurrency", 0, "run the concurrent-workflow throughput benchmark with this many workflows (0 = skip; <0 = 2×GOMAXPROCS)")
+	concurrencyJSON := flag.String("concurrency-json", "", "write the concurrency benchmark report to this JSON file (e.g. BENCH_concurrency.json)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range bench.All() {
 			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if *concurrency != 0 || *concurrencyJSON != "" {
+		n := *concurrency
+		if n < 0 {
+			n = 0 // RunConcurrency picks 2×GOMAXPROCS
+		}
+		rep, err := bench.RunConcurrency(n, 0)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "concurrency:", err)
+			os.Exit(1)
+		}
+		for _, r := range rep.Runs {
+			fmt.Printf("concurrency %-10s %2d workflows  %8.1fms  %6.2f wf/s\n",
+				r.Mode, r.Workflows, r.WallMS, r.ThroughputWFPS)
+		}
+		fmt.Printf("concurrency speedup: %.2fx (GOMAXPROCS=%d)\n", rep.Speedup, rep.GOMAXPROCS)
+		if *concurrencyJSON != "" {
+			if err := bench.WriteConcurrencyJSON(*concurrencyJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "concurrency:", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

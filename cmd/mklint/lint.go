@@ -24,6 +24,7 @@ var (
 	hotPathDirs     = []string{"internal/exec/"}
 	determinismDirs = []string{"internal/exec/", "internal/relation/"}
 	engineDirs      = []string{"internal/engines/"}
+	concurrencyDirs = []string{"internal/core/", "internal/engines/"}
 )
 
 func underAny(path string, dirs []string) bool {
@@ -61,12 +62,18 @@ func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
 
 	hotPath := underAny(relpath, hotPathDirs)
 	engines := underAny(relpath, engineDirs)
-	if !hotPath && !engines {
+	concurrency := underAny(relpath, concurrencyDirs)
+	if !hotPath && !engines && !concurrency {
 		return out
 	}
 
 	ast.Inspect(f, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			if concurrency {
+				add(n.Pos(), "scheduler-only-concurrency",
+					"bare go statement: execution-stack concurrency must go through internal/sched (Scheduler.Run or sched.ForEach)")
+			}
 		case *ast.CallExpr:
 			if !hotPath {
 				return true

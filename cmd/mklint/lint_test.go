@@ -84,6 +84,24 @@ import "musketeer/internal/engines"
 var e = engines.Engine{}`,
 			rule: "engine-profile",
 		},
+		{
+			name: "bare go statement in core",
+			path: "internal/core/spawn.go",
+			src: `package core
+func fanOut(fns []func()) {
+	for _, fn := range fns {
+		go fn()
+	}
+}`,
+			rule: "scheduler-only-concurrency",
+		},
+		{
+			name: "bare go statement in engines",
+			path: "internal/engines/spawn.go",
+			src: `package engines
+func fire(fn func()) { go fn() }`,
+			rule: "scheduler-only-concurrency",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -113,6 +131,10 @@ func banner(d time.Duration) string { return "took " + fmt.Sprint(d) }`,
 		"cmd/musketeer/main.go": `package main
 import "fmt"
 func usage() string { return fmt.Sprintf("usage: %s", "musketeer") }`,
+		"internal/sched/sched.go": `package sched
+func dispatch(fn func()) { go fn() }`,
+		"internal/bench/poll.go": `package bench
+func poll(fn func()) { go fn() }`,
 	}
 	for path, src := range srcs {
 		if got := lintSource(t, path, src); len(got) != 0 {

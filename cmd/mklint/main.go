@@ -14,6 +14,11 @@
 //   - engine-profile: every engines.Engine composite literal must set a
 //     prof: field, so no back-end enters the registry without a
 //     capability/cost profile for the planner.
+//   - scheduler-only-concurrency: internal/core and internal/engines must
+//     not contain bare go statements; all execution-stack concurrency is
+//     owned by internal/sched (Scheduler.Run / sched.ForEach), which is
+//     what guarantees admission control, fail-fast cancellation, and
+//     deterministic makespan accounting.
 //
 // Usage:
 //

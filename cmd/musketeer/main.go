@@ -19,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +60,9 @@ func main() {
 	gasOutput := flag.String("gas-output", "result", "GAS front-end: output relation name")
 	historyPath := flag.String("history", "", "workflow-history file: loaded before planning, saved after the run")
 	mtbf := flag.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the execution, e.g. 30s (0 = none)")
+	maxConcurrent := flag.Int("max-concurrent", 0, "bound on concurrently running back-end jobs (0 = scheduler default)")
+	retries := flag.Int("retries", 0, "per-job retry budget for transiently failed jobs")
 	tables := tableFlags{}
 	flag.Var(tables, "table", "stage a relation: name=file (repeatable)")
 	flag.Parse()
@@ -81,6 +85,12 @@ func main() {
 	}
 	if *mtbf > 0 {
 		opts = append(opts, musketeer.WithFaults(*mtbf, 1))
+	}
+	if *maxConcurrent > 0 {
+		opts = append(opts, musketeer.WithConcurrency(*maxConcurrent))
+	}
+	if *retries > 0 {
+		opts = append(opts, musketeer.WithRetries(*retries))
 	}
 	m := musketeer.New(opts...)
 	cat := musketeer.Catalog{}
@@ -154,7 +164,13 @@ func main() {
 		fmt.Println(code)
 	}
 
-	res, err := wf.Run(part)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := wf.RunCtx(ctx, part)
 	if err != nil {
 		fail("run: %v", err)
 	}

@@ -145,10 +145,11 @@ func (a *analyzer) structural(d *ir.DAG) bool {
 // of stopping at the first. Operators whose inputs failed to infer are
 // skipped silently — the producer already carries the diagnostic, and
 // cascade errors would only bury it.
+// Outer schemas for a WHILE body are resolved from the map here rather
+// than bound onto the body's INPUT operators: the analyzer must not
+// mutate the DAG it inspects, because a compiled workflow may be
+// analyzed by several concurrent executions at once.
 func (a *analyzer) schemaPass(d *ir.DAG, outer map[string]relation.Schema, inBody bool) {
-	if outer != nil {
-		d.BindBodySchemas(outer)
-	}
 	ops, err := d.TopoSort()
 	if err != nil {
 		return // unreachable for structurally sound DAGs
@@ -156,6 +157,10 @@ func (a *analyzer) schemaPass(d *ir.DAG, outer map[string]relation.Schema, inBod
 	for _, op := range ops {
 		switch {
 		case op.Type == ir.OpInput:
+			if s, ok := outer[op.Out]; ok {
+				a.schemas[op] = s
+				continue
+			}
 			if op.Params.Schema.Arity() == 0 {
 				if inBody {
 					a.errf("schema", op, "body input %q is not bound by the enclosing WHILE and has no declared schema", op.Out)

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/core"
+	"musketeer/internal/dfs"
+	"musketeer/internal/engines"
+	"musketeer/internal/frontends"
+	"musketeer/internal/frontends/hive"
+	"musketeer/internal/relation"
+	"musketeer/internal/sched"
+)
+
+// The concurrency benchmark measures workflow *throughput* on one shared
+// deployment: N identical workflows executed back-to-back versus N
+// executed concurrently — each in its own DFS session namespace, all
+// sharing one scheduler's admission control, exactly as the public API's
+// Workflow.ExecuteCtx arranges. Every execution runs the pipeline
+// end-to-end (parse, optimize, plan, generate, run), which is the request
+// pattern of a multi-tenant Musketeer service.
+
+// ConcurrencyRun is one measured configuration.
+type ConcurrencyRun struct {
+	Mode           string  `json:"mode"` // "serial" or "concurrent"
+	Workflows      int     `json:"workflows"`
+	WallMS         float64 `json:"wall_ms"`
+	ThroughputWFPS float64 `json:"throughput_wf_per_s"`
+}
+
+// ConcurrencyReport is the benchmark's JSON artifact (BENCH_concurrency.json).
+type ConcurrencyReport struct {
+	Description string           `json:"description"`
+	Date        string           `json:"date"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Workflow    string           `json:"workflow"`
+	Runs        []ConcurrencyRun `json:"runs"`
+	Speedup     float64          `json:"speedup_concurrent_vs_serial"`
+}
+
+const concurrencyHive = `
+SELECT id, street, town FROM properties AS locs;
+locs JOIN prices ON locs.id = prices.id AS id_price;
+SELECT street, town, MAX(price) AS max_price FROM id_price GROUP BY street AND town AS street_price;
+`
+
+var concurrencyInputs = []string{"in/properties", "in/prices"}
+
+// stageConcurrency stages the join-heavy property/prices workload (rows
+// sets the physical work per execution) on a fresh shared DFS.
+func stageConcurrency(fs *dfs.DFS, rows int64) (frontends.Catalog, error) {
+	props := relation.New("properties", relation.NewSchema("id:int", "street:string", "town:string"))
+	streets := []string{"mill rd", "high st", "king st", "station rd"}
+	for i := int64(0); i < rows; i++ {
+		props.MustAppend(relation.Row{relation.Int(i), relation.Str(streets[i%4]), relation.Str("cam")})
+	}
+	props.LogicalBytes = props.PhysicalBytes() * 100
+	prices := relation.New("prices", relation.NewSchema("id:int", "price:float"))
+	for i := int64(0); i < rows; i++ {
+		prices.MustAppend(relation.Row{relation.Int(i), relation.Float(float64(100 + i%977))})
+	}
+	prices.LogicalBytes = prices.PhysicalBytes() * 100
+	if err := fs.WriteRelation("in/properties", props); err != nil {
+		return nil, err
+	}
+	if err := fs.WriteRelation("in/prices", prices); err != nil {
+		return nil, err
+	}
+	return frontends.Catalog{
+		"properties": {Path: "in/properties", Schema: props.Schema},
+		"prices":     {Path: "in/prices", Schema: prices.Schema},
+	}, nil
+}
+
+// RunConcurrency executes n identical workflows serially and then
+// concurrently on one shared deployment and reports wall-clock throughput.
+// Each execution compiles its own workflow (real requests arrive
+// pre-compilation) and runs inside a private session namespace with the
+// deployment's shared scheduler providing admission control.
+func RunConcurrency(n int, rows int64) (*ConcurrencyReport, error) {
+	if n <= 0 {
+		n = 2 * runtime.GOMAXPROCS(0)
+	}
+	if rows <= 0 {
+		rows = 20_000
+	}
+	fs := dfs.New()
+	c := cluster.Local(7)
+	h := core.NewHistory()
+	scheduler := sched.New(sched.Options{})
+	cat, err := stageConcurrency(fs, rows)
+	if err != nil {
+		return nil, err
+	}
+	execOne := func(ns string) error {
+		dag, err := hive.Parse(concurrencyHive, cat)
+		if err != nil {
+			return err
+		}
+		core.Optimize(dag)
+		est, err := core.NewEstimator(dag, fs, c, h)
+		if err != nil {
+			return err
+		}
+		part, err := core.AutoMap(dag, est, engines.StandardEngines())
+		if err != nil {
+			return err
+		}
+		for _, in := range concurrencyInputs {
+			if err := fs.Copy(in, ns+"/"+in); err != nil {
+				return err
+			}
+		}
+		r := &core.Runner{
+			Ctx:     engines.RunContext{DFS: fs.Namespace(ns), Cluster: c},
+			History: h,
+			Mode:    engines.ModeOptimized,
+			Sched:   scheduler,
+		}
+		res, err := r.ExecuteCtx(context.Background(), dag, part)
+		if err != nil {
+			return err
+		}
+		if res.Makespan <= 0 {
+			return fmt.Errorf("bench: zero makespan")
+		}
+		return nil
+	}
+
+	// Warm-up: fault in lazily initialized state outside the timed runs.
+	if err := execOne("__warm/0"); err != nil {
+		return nil, err
+	}
+
+	serialStart := time.Now()
+	for i := 0; i < n; i++ {
+		if err := execOne(fmt.Sprintf("__serial/%d", i)); err != nil {
+			return nil, err
+		}
+	}
+	serialWall := time.Since(serialStart)
+
+	errs := make([]error, n)
+	concStart := time.Now()
+	sched.ForEach(n, n, func(i int) { errs[i] = execOne(fmt.Sprintf("__conc/%d", i)) })
+	concWall := time.Since(concStart)
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	wfps := func(d time.Duration) float64 {
+		if d <= 0 {
+			return 0
+		}
+		return float64(n) / d.Seconds()
+	}
+	rep := &ConcurrencyReport{
+		Description: "Concurrent-workflow throughput on one shared deployment: N identical Hive workflows (compile+optimize+plan+run each), serial vs concurrent; every execution in its own DFS session under the shared scheduler's admission control.",
+		Date:        time.Now().Format("2006-01-02"),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Workflow:    fmt.Sprintf("hive property join+agg, %d rows per input", rows),
+		Runs: []ConcurrencyRun{
+			{Mode: "serial", Workflows: n, WallMS: float64(serialWall.Microseconds()) / 1000, ThroughputWFPS: wfps(serialWall)},
+			{Mode: "concurrent", Workflows: n, WallMS: float64(concWall.Microseconds()) / 1000, ThroughputWFPS: wfps(concWall)},
+		},
+	}
+	if concWall > 0 {
+		rep.Speedup = serialWall.Seconds() / concWall.Seconds()
+	}
+	return rep, nil
+}
+
+// WriteConcurrencyJSON writes the report as indented JSON.
+func WriteConcurrencyJSON(path string, rep *ConcurrencyReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

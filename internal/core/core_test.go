@@ -692,28 +692,44 @@ func TestOptimizeSkipsSharedIntermediates(t *testing.T) {
 
 // TestIndependentJobsOverlap: jobs without data dependencies run
 // concurrently, so the workflow makespan is the critical path, not the sum
-// of job times.
+// of job times. The partition is built by hand — two independent branch
+// jobs feeding a union job — because the cost-based partitioners are free
+// to merge a branch into the union's job and produce a chain instead.
 func TestIndependentJobsOverlap(t *testing.T) {
 	d, fs := fig16DAG(t) // two independent branches feeding a union
-	est, err := NewEstimator(d, fs, cluster.Local(7), nil)
-	if err != nil {
-		t.Fatal(err)
+	hadoop := engines.Hadoop()
+	var jobs []Assignment
+	for _, group := range [][]*ir.Op{
+		{d.ByOut("j"), d.ByOut("p")}, // branch A: join + project
+		{d.ByOut("g")},               // branch B: aggregate
+		{d.ByOut("u")},               // union of both branches
+	} {
+		frag, err := ir.NewFragment(d, group)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, Assignment{Frag: frag, Engine: hadoop})
 	}
-	part, err := PartitionExhaustive(d, est, []*engines.Engine{engines.Hadoop()}, 0)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(part.Jobs) < 2 {
-		t.Fatalf("expected ≥2 jobs, got %d", len(part.Jobs))
-	}
+	part := &Partitioning{Jobs: jobs}
 	r := &Runner{Ctx: engines.RunContext{DFS: fs, Cluster: cluster.Local(7)}, Mode: engines.ModeOptimized}
 	res, err := r.Execute(d, part)
 	if err != nil {
 		t.Fatal(err)
 	}
+	if len(res.Jobs) != 3 {
+		t.Fatalf("expected 3 job runs, got %d", len(res.Jobs))
+	}
 	if res.Makespan >= res.SumJobTime {
 		t.Errorf("makespan (%v) should be below the sum of job times (%v): independent jobs overlap",
 			res.Makespan, res.SumJobTime)
+	}
+	// The critical path is the slower branch plus the union.
+	branch := res.Jobs[0].Makespan
+	if res.Jobs[1].Makespan > branch {
+		branch = res.Jobs[1].Makespan
+	}
+	if want := branch + res.Jobs[2].Makespan; res.Makespan != want {
+		t.Errorf("makespan = %v, want slower branch + union = %v", res.Makespan, want)
 	}
 }
 

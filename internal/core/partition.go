@@ -8,13 +8,13 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"musketeer/internal/cluster"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
+	"musketeer/internal/sched"
 )
 
 // Assignment maps one fragment (≡ back-end job) to the engine chosen for
@@ -286,24 +286,11 @@ func PartitionExhaustive(dag *ir.DAG, est *Estimator, engs []*engines.Engine, bu
 	if workers := runtime.GOMAXPROCS(0); workers > 1 && len(ops) >= parallelExhaustiveMinOps {
 		tasks := s.seedTasks(4 * workers)
 		results := make([]exhaustiveWorker, len(tasks))
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for wk := 0; wk < workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					ti := int(next.Add(1)) - 1
-					if ti >= len(tasks) {
-						return
-					}
-					w := &results[ti]
-					w.s, w.bestCost = s, Infeasible
-					w.search(tasks[ti].i, tasks[ti].groups, tasks[ti].partial)
-				}
-			}()
-		}
-		wg.Wait()
+		sched.ForEach(workers, len(tasks), func(ti int) {
+			w := &results[ti]
+			w.s, w.bestCost = s, Infeasible
+			w.search(tasks[ti].i, tasks[ti].groups, tasks[ti].partial)
+		})
 		// Reduce in task order with strict improvement, so equal-cost optima
 		// resolve to the earliest subtree in placement order.
 		for i := range results {

@@ -1,24 +1,50 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
+	"musketeer/internal/sched"
 )
 
 // Runner executes partitionings against a deployment. It drives WHILE
 // loops for engines without native iteration (re-submitting the body's jobs
 // every round, exactly like iterative MapReduce), records workflow history,
 // and accounts the simulated makespan along the job DAG's critical path.
+//
+// All concurrency is delegated to the job scheduler: the partitioning's
+// jobs are submitted as a dependency DAG, the scheduler dispatches
+// data-independent jobs concurrently under the deployment's admission
+// control, cancels in-flight siblings when one job fails, and retries
+// transiently fault-injected failures. A Runner holds no mutable state of
+// its own, so one compiled workflow may be executed from many goroutines
+// at once provided each execution gets its own DFS namespace (the
+// session layer above arranges this).
 type Runner struct {
 	Ctx engines.RunContext
 	// History, when non-nil, receives per-job observations (§5.2).
 	History *History
 	// Mode selects code-generation quality for every generated job.
 	Mode engines.PlanMode
+	// Sched dispatches the partitioning's jobs. Nil uses a process-wide
+	// default scheduler bounded by GOMAXPROCS.
+	Sched *sched.Scheduler
+}
+
+// defaultSched serves Runners constructed without an explicit scheduler
+// (direct library use, benchmarks); deployments built through the public
+// API share their own per-deployment scheduler instead.
+var defaultSched = sched.New(sched.Options{Retryable: engines.IsTransient})
+
+func (r *Runner) scheduler() *sched.Scheduler {
+	if r.Sched != nil {
+		return r.Sched
+	}
+	return defaultSched
 }
 
 // WorkflowResult aggregates one workflow execution.
@@ -29,35 +55,22 @@ type WorkflowResult struct {
 	// SumJobTime is the total work across jobs (for resource-efficiency
 	// calculations, Fig 8c).
 	SumJobTime cluster.Seconds
-	// Jobs are the individual executions in completion order.
+	// Jobs are the individual executions in partitioning order.
 	Jobs []*engines.RunResult
 	// OOM reports whether any job exceeded its engine's memory capacity.
 	OOM bool
 }
 
-// Execute runs every job of the partitioning in dependency order.
-// Jobs with no data dependency between them execute concurrently (real
-// goroutines — the DFS and history store are concurrency-safe); the
-// simulated makespan is the critical path either way. Workflow outputs
-// land in the DFS under their relation names.
-func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, error) {
-	// Last line of defense: the analyzer runs once more before anything
-	// touches the DFS, so a DAG mutated after compilation (or built by a
-	// buggy rewrite) fails with full diagnostics instead of mid-run.
-	if err := analysis.Analyze(dag).Err(); err != nil {
-		return nil, err
-	}
-	dagHash := dag.Hash()
-	n := len(part.Jobs)
-
-	// producers[rel] = index of the job materializing rel.
+// jobDeps derives the partitioning's dependency lists: job i depends on
+// job p when p materializes a relation i reads.
+func jobDeps(part *Partitioning) [][]int {
 	producers := map[string]int{}
 	for i, job := range part.Jobs {
 		for _, out := range job.Frag.ExtOut {
 			producers[out.Out] = i
 		}
 	}
-	deps := make([][]int, n)
+	deps := make([][]int, len(part.Jobs))
 	for i, job := range part.Jobs {
 		seen := map[int]bool{}
 		for _, in := range job.Frag.ExtIn {
@@ -67,60 +80,70 @@ func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, erro
 			}
 		}
 	}
+	return deps
+}
 
-	type outcome struct {
-		runs []*engines.RunResult
-		dur  cluster.Seconds
-		err  error
+// Execute runs every job of the partitioning in dependency order with no
+// cancellation deadline.
+func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, error) {
+	return r.ExecuteCtx(context.Background(), dag, part)
+}
+
+// ExecuteCtx runs every job of the partitioning in dependency order.
+// Jobs with no data dependency between them execute concurrently under
+// the scheduler's admission control (the DFS and history store are
+// concurrency-safe); the simulated makespan is the deterministic critical
+// path either way. Workflow outputs land in the execution's DFS view under
+// their relation names. Cancelling ctx stops in-flight jobs between
+// operators and skips everything not yet started.
+func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning) (*WorkflowResult, error) {
+	// Last line of defense: the analyzer runs once more before anything
+	// touches the DFS, so a DAG mutated after compilation (or built by a
+	// buggy rewrite) fails with full diagnostics instead of mid-run.
+	if err := analysis.Analyze(dag).Err(); err != nil {
+		return nil, err
 	}
-	results := make([]outcome, n)
-	done := make([]chan struct{}, n)
-	for i := range done {
-		done[i] = make(chan struct{})
-	}
+	dagHash := dag.Hash()
+	deps := jobDeps(part)
+
+	jobs := make([]sched.Job, len(part.Jobs))
 	for i := range part.Jobs {
-		go func(i int) {
-			defer close(done[i])
-			for _, d := range deps[i] {
-				<-done[d]
-				if results[d].err != nil {
-					results[i].err = fmt.Errorf("core: upstream job failed: %w", results[d].err)
-					return
+		job := part.Jobs[i]
+		jobs[i] = sched.Job{
+			Name: job.Frag.Name(),
+			Deps: deps[i],
+			Run: func(jctx context.Context, attempt int) (sched.Result, error) {
+				rctx := r.Ctx
+				rctx.Ctx = jctx
+				rctx.Attempt = attempt
+				var (
+					runs []*engines.RunResult
+					dur  cluster.Seconds
+					err  error
+				)
+				if w := job.Frag.While(); w != nil && !job.Engine.Profile().NativeIteration {
+					runs, dur, err = r.runWhileDriver(jctx, rctx, dagHash, w, job.Engine)
+				} else {
+					runs, dur, err = r.runPlain(rctx, dagHash, job)
 				}
-			}
-			job := part.Jobs[i]
-			if w := job.Frag.While(); w != nil && !job.Engine.Profile().NativeIteration {
-				results[i].runs, results[i].dur, results[i].err = r.runWhileDriver(dagHash, w, job.Engine)
-			} else {
-				results[i].runs, results[i].dur, results[i].err = r.runPlain(dagHash, job)
-			}
-		}(i)
+				return sched.Result{Value: runs, Duration: dur}, err
+			},
+		}
 	}
-	for i := range done {
-		<-done[i]
+	rep := r.scheduler().Run(ctx, jobs)
+	if rep.Err != nil {
+		return nil, fmt.Errorf("core: %w", rep.Err)
 	}
 
-	res := &WorkflowResult{}
-	finish := make([]cluster.Seconds, n)
+	res := &WorkflowResult{Makespan: rep.Makespan}
 	for i := range part.Jobs {
-		if err := results[i].err; err != nil {
-			return nil, err
-		}
-		var start cluster.Seconds
-		for _, d := range deps[i] {
-			if finish[d] > start {
-				start = finish[d]
-			}
-		}
-		finish[i] = start + results[i].dur
-		if finish[i] > res.Makespan {
-			res.Makespan = finish[i]
-		}
+		out := rep.Outcomes[i]
 		if r.History != nil {
 			r.History.ObserveRuntime(dagHash, FragmentKey(part.Jobs[i].Frag),
-				part.Jobs[i].Engine.Name(), float64(results[i].dur))
+				part.Jobs[i].Engine.Name(), float64(out.Duration))
 		}
-		for _, jr := range results[i].runs {
+		runs, _ := out.Value.([]*engines.RunResult)
+		for _, jr := range runs {
 			res.Jobs = append(res.Jobs, jr)
 			res.SumJobTime += jr.Makespan
 			if jr.OOM {
@@ -132,12 +155,12 @@ func (r *Runner) Execute(dag *ir.DAG, part *Partitioning) (*WorkflowResult, erro
 }
 
 // runPlain executes a fragment as a single job.
-func (r *Runner) runPlain(dagHash string, job Assignment) ([]*engines.RunResult, cluster.Seconds, error) {
+func (r *Runner) runPlain(rctx engines.RunContext, dagHash string, job Assignment) ([]*engines.RunResult, cluster.Seconds, error) {
 	plan, err := job.Engine.Plan(job.Frag, r.Mode)
 	if err != nil {
 		return nil, 0, err
 	}
-	jr, err := engines.Run(r.Ctx, plan)
+	jr, err := engines.Run(rctx, plan)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -147,13 +170,16 @@ func (r *Runner) runPlain(dagHash string, job Assignment) ([]*engines.RunResult,
 
 // runWhileDriver expands a WHILE for an engine without native iteration:
 // Musketeer itself drives the loop, submitting the body's jobs each
-// iteration and checking the stop condition from materialized state. Loop
-// state lives in the DFS under temporary paths; job overheads and
-// DFS round-trips are paid every iteration, which is exactly the cost the
-// paper attributes to iterative workflows on MapReduce-class systems.
-func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) ([]*engines.RunResult, cluster.Seconds, error) {
+// iteration through the scheduler and checking the stop condition from
+// materialized state. Loop state lives in a "__loop/<out>" namespace of
+// the execution's DFS view — the shared DAG is never mutated, so one
+// compiled workflow can run this driver from many executions at once. Job
+// overheads and DFS round-trips are paid every iteration, which is exactly
+// the cost the paper attributes to iterative workflows on MapReduce-class
+// systems.
+func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, dagHash string, w *ir.Op, eng *engines.Engine) ([]*engines.RunResult, cluster.Seconds, error) {
 	body := w.Params.Body
-	est, err := NewEstimator(body, nil, r.Ctx.Cluster, r.History)
+	est, err := NewEstimator(body, nil, rctx.Cluster, r.History)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -162,7 +188,7 @@ func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) (
 	sizes := map[string]int64{}
 	for _, outerIn := range w.Inputs {
 		path := engines.InputPath(outerIn)
-		st, err := r.Ctx.DFS.Stat(path)
+		st, err := rctx.DFS.Stat(path)
 		if err != nil {
 			return nil, 0, fmt.Errorf("core: WHILE %s input %q: %w", w.Out, outerIn.Out, err)
 		}
@@ -172,9 +198,13 @@ func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) (
 	if _, err := est.WithInputSizes(sizes); err != nil {
 		return nil, 0, err
 	}
-	// Stage loop state: body inputs read from loop-local paths so carried
-	// updates never clobber source data.
-	savedPaths := map[*ir.Op]string{}
+	// Stage loop state in the loop namespace: each body input's source
+	// relation is copied to the path the body resolves it from, so carried
+	// updates never clobber source data and concurrent executions of the
+	// same workflow never see each other's iteration state.
+	loopNS := "__loop/" + w.Out
+	loopFS := rctx.DFS.Namespace(loopNS)
+	inPath := map[string]string{} // body input name → loop-relative path
 	for _, bop := range body.Ops {
 		if bop.Type != ir.OpInput {
 			continue
@@ -183,18 +213,23 @@ func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) (
 		if !ok {
 			return nil, 0, fmt.Errorf("core: WHILE %s: body input %q unbound", w.Out, bop.Out)
 		}
-		if err := r.Ctx.DFS.Copy(src, loopPath(w, bop.Out)); err != nil {
+		dst := engines.InputPath(bop)
+		inPath[bop.Out] = dst
+		if err := rctx.DFS.Copy(src, loopNS+"/"+dst); err != nil {
 			return nil, 0, err
 		}
-		savedPaths[bop] = bop.Params.Path
-		bop.Params.Path = loopPath(w, bop.Out)
 	}
-	defer func() {
-		// Restore body input paths (the DAG may be reused).
-		for bop, p := range savedPaths {
-			bop.Params.Path = p
+	// loopPath maps a loop-carried input name to where the loop stores its
+	// current value (falling back to the bare name for carries that no
+	// body input reads).
+	loopPath := func(name string) string {
+		if p, ok := inPath[name]; ok {
+			return p
 		}
-	}()
+		return name
+	}
+	lctx := rctx
+	lctx.DFS = loopFS
 
 	part, err := PartitionDynamic(body, est, []*engines.Engine{eng})
 	if err != nil {
@@ -223,6 +258,7 @@ func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) (
 		}
 	}
 	bodyHash := body.Hash()
+	bodyDeps := jobDeps(part)
 
 	maxIter := w.Params.MaxIter
 	if maxIter <= 0 {
@@ -231,47 +267,79 @@ func (r *Runner) runWhileDriver(dagHash string, w *ir.Op, eng *engines.Engine) (
 	var all []*engines.RunResult
 	var total cluster.Seconds
 	iters := 0
+	converged := w.Params.CondRel == "" // bounded loops terminate by cap
 	for ; iters < maxIter; iters++ {
-		for _, job := range part.Jobs {
-			plan, err := eng.Plan(job.Frag, r.Mode)
-			if err != nil {
-				return nil, 0, err
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
+		}
+		// One iteration = one nested submission: the driver already holds
+		// a worker slot, so body jobs bypass admission but keep dependency
+		// dispatch, fail-fast cancellation, and retry.
+		iterJobs := make([]sched.Job, len(part.Jobs))
+		for ji := range part.Jobs {
+			job := part.Jobs[ji]
+			iterJobs[ji] = sched.Job{
+				Name: job.Frag.Name(),
+				Deps: bodyDeps[ji],
+				Run: func(jctx context.Context, attempt int) (sched.Result, error) {
+					plan, err := eng.Plan(job.Frag, r.Mode)
+					if err != nil {
+						return sched.Result{}, err
+					}
+					jctx2 := lctx
+					jctx2.Ctx = jctx
+					jctx2.Attempt = attempt
+					jr, err := engines.Run(jctx2, plan)
+					if err != nil {
+						return sched.Result{}, err
+					}
+					return sched.Result{Value: jr, Duration: jr.Makespan}, nil
+				},
 			}
-			jr, err := engines.Run(r.Ctx, plan)
-			if err != nil {
-				return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
-			}
-			r.observe(bodyHash, job.Frag, jr)
+		}
+		rep := r.scheduler().RunNested(ctx, iterJobs)
+		if rep.Err != nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, rep.Err)
+		}
+		for ji := range part.Jobs {
+			jr := rep.Outcomes[ji].Value.(*engines.RunResult)
+			r.observe(bodyHash, part.Jobs[ji].Frag, jr)
 			all = append(all, jr)
 			total += jr.Makespan
 		}
 		// Rebind carried state for the next round.
 		for inName, outName := range w.Params.Carried {
-			if err := r.Ctx.DFS.Copy(outName, loopPath(w, inName)); err != nil {
+			if err := loopFS.Copy(outName, loopPath(inName)); err != nil {
 				return nil, 0, err
 			}
 		}
 		if w.Params.CondRel != "" {
-			st, err := r.Ctx.DFS.Stat(w.Params.CondRel)
+			st, err := loopFS.Stat(w.Params.CondRel)
 			if err != nil {
 				return nil, 0, err
 			}
 			if st.Rows == 0 {
+				converged = true
 				iters++
 				break
 			}
 		}
 	}
+	if !converged {
+		return nil, 0, fmt.Errorf("core: WHILE %s did not converge: condition %q still non-empty after %d iterations (cap %d)",
+			w.Out, w.Params.CondRel, iters, maxIter)
+	}
 	if r.History != nil {
 		r.History.Observe(dagHash, w.ID, Observation{OutRatio: 1, Iterations: iters})
 	}
-	// Publish the WHILE's result under its output name.
+	// Publish the WHILE's result under its output name in the execution's
+	// view.
 	resRel := w.ResultRelation()
 	src := resRel
 	if inName := carriedInputFor(w, resRel); inName != "" {
-		src = loopPath(w, inName)
+		src = loopPath(inName)
 	}
-	if err := r.Ctx.DFS.Copy(src, w.Out); err != nil {
+	if err := rctx.DFS.Copy(loopNS+"/"+src, w.Out); err != nil {
 		return nil, 0, err
 	}
 	return all, total, nil
@@ -284,10 +352,6 @@ func carriedInputFor(w *ir.Op, resRel string) string {
 		}
 	}
 	return ""
-}
-
-func loopPath(w *ir.Op, name string) string {
-	return fmt.Sprintf("__loop/%s/%s", w.Out, name)
 }
 
 // observe records output ratios for the job's materialized relations.

@@ -56,7 +56,7 @@ type block struct {
 // round-robin over datanodes, offset per block so replicas of consecutive
 // blocks land on different nodes (as HDFS's placement spreads load).
 func (d *DFS) split(data []byte) []block {
-	cfg := d.cfg
+	cfg := d.st.cfg
 	var blocks []block
 	for off, bi := 0, 0; off < len(data) || (off == 0 && len(data) == 0); bi++ {
 		end := off + cfg.BlockSize
@@ -89,7 +89,7 @@ func (d *DFS) assemble(path string, blocks []block) ([]byte, error) {
 	for bi, b := range blocks {
 		ok := false
 		for _, rep := range b.replicas {
-			if d.down[rep.node] {
+			if d.st.down[rep.node] {
 				continue
 			}
 			if crc32.ChecksumIEEE(rep.data) != rep.sum {
@@ -109,23 +109,24 @@ func (d *DFS) assemble(path string, blocks []block) ([]byte, error) {
 // SetNodeDown marks a datanode failed (true) or recovered (false); reads
 // route around failed nodes using surviving replicas.
 func (d *DFS) SetNodeDown(node int, isDown bool) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if d.down == nil {
-		d.down = map[int]bool{}
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	if d.st.down == nil {
+		d.st.down = map[int]bool{}
 	}
-	d.down[node] = isDown
+	d.st.down[node] = isDown
 }
 
 // CorruptReplica flips bytes of one replica of one block (failure
 // injection for tests); the checksum then fails on read and the replica is
 // masked.
 func (d *DFS) CorruptReplica(path string, blockIdx, replicaIdx int) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[path]
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	key := d.resolve(path)
+	f, ok := d.st.files[key]
 	if !ok {
-		return fmt.Errorf("dfs: no such file %q", path)
+		return fmt.Errorf("dfs: no such file %q", key)
 	}
 	if blockIdx < 0 || blockIdx >= len(f.blocks) {
 		return fmt.Errorf("dfs: %s: no block %d", path, blockIdx)
@@ -143,22 +144,24 @@ func (d *DFS) CorruptReplica(path string, blockIdx, replicaIdx int) error {
 
 // BlockCount returns how many blocks a file occupies.
 func (d *DFS) BlockCount(path string) (int, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	f, ok := d.files[path]
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	key := d.resolve(path)
+	f, ok := d.st.files[key]
 	if !ok {
-		return 0, fmt.Errorf("dfs: no such file %q", path)
+		return 0, fmt.Errorf("dfs: no such file %q", key)
 	}
 	return len(f.blocks), nil
 }
 
 // BlockLocations returns the datanodes holding each block's replicas.
 func (d *DFS) BlockLocations(path string) ([][]int, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	f, ok := d.files[path]
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	key := d.resolve(path)
+	f, ok := d.st.files[key]
 	if !ok {
-		return nil, fmt.Errorf("dfs: no such file %q", path)
+		return nil, fmt.Errorf("dfs: no such file %q", key)
 	}
 	locs := make([][]int, len(f.blocks))
 	for i, b := range f.blocks {

@@ -7,11 +7,19 @@
 // exercised on every job boundary — plus the logical size used by the cost
 // model, and the filesystem keeps byte counters so tests can assert how much
 // (simulated) I/O a plan performed.
+//
+// A DFS value is a view onto shared storage. The root view (returned by New)
+// sees every file; Namespace derives a scoped view whose paths resolve under
+// a prefix, which is how concurrent workflow executions get isolated
+// namespaces for their intermediates, outputs, and loop temporaries while
+// sharing one physical filesystem (and its datanodes, block placement, and
+// I/O accounting).
 package dfs
 
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"musketeer/internal/relation"
@@ -33,9 +41,19 @@ func (s Stat) EffectiveBytes() int64 {
 	return s.PhysicalBytes
 }
 
-// DFS is an in-memory distributed-filesystem simulation. It is safe for
-// concurrent use; engines running parallel tasks read blocks concurrently.
+// DFS is a view onto an in-memory distributed-filesystem simulation. Views
+// are safe for concurrent use; engines running parallel tasks read blocks
+// concurrently, and concurrent workflow executions operate through separate
+// namespaced views over the same storage.
 type DFS struct {
+	st *state
+	// prefix scopes every path this view resolves ("" for the root view;
+	// otherwise ends in "/").
+	prefix string
+}
+
+// state is the storage shared by every view derived from one New call.
+type state struct {
 	mu    sync.RWMutex
 	files map[string]*file
 	cfg   Config
@@ -43,7 +61,8 @@ type DFS struct {
 	down map[int]bool
 
 	// Counters accumulate effective (logical) bytes moved, mirroring the
-	// PULL/PUSH accounting of the paper's cost model.
+	// PULL/PUSH accounting of the paper's cost model. They are global
+	// across views: a namespaced job's I/O is still cluster I/O.
 	bytesRead    int64
 	bytesWritten int64
 }
@@ -63,8 +82,26 @@ func New() *DFS {
 // NewWithConfig returns an empty filesystem with explicit block size,
 // replication factor and datanode count.
 func NewWithConfig(cfg Config) *DFS {
-	return &DFS{files: make(map[string]*file), cfg: cfg.normalized(), down: map[int]bool{}}
+	return &DFS{st: &state{files: make(map[string]*file), cfg: cfg.normalized(), down: map[int]bool{}}}
 }
+
+// Namespace returns a view scoped under prefix: every path the view reads
+// or writes resolves to prefix+"/"+path in the underlying storage. Views
+// share datanodes, block configuration and I/O counters with their parent;
+// nested calls compose prefixes. An empty prefix returns the receiver.
+func (d *DFS) Namespace(prefix string) *DFS {
+	prefix = strings.Trim(prefix, "/")
+	if prefix == "" {
+		return d
+	}
+	return &DFS{st: d.st, prefix: d.prefix + prefix + "/"}
+}
+
+// Prefix returns the view's path prefix ("" for the root view).
+func (d *DFS) Prefix() string { return strings.TrimSuffix(d.prefix, "/") }
+
+// resolve maps a view-relative path to its storage key.
+func (d *DFS) resolve(path string) string { return d.prefix + path }
 
 // WriteRelation encodes rel and stores it at path, replacing any previous
 // file. The relation's LogicalBytes travels with the file.
@@ -73,9 +110,9 @@ func (d *DFS) WriteRelation(path string, rel *relation.Relation) error {
 		return fmt.Errorf("dfs: empty path")
 	}
 	data := rel.EncodeBytes()
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.files[path] = &file{
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	d.st.files[d.resolve(path)] = &file{
 		blocks:  d.split(data),
 		size:    int64(len(data)),
 		logical: rel.LogicalBytes,
@@ -85,16 +122,17 @@ func (d *DFS) WriteRelation(path string, rel *relation.Relation) error {
 	if eff <= 0 {
 		eff = int64(len(data))
 	}
-	d.bytesWritten += eff
+	d.st.bytesWritten += eff
 	return nil
 }
 
 // ReadRelation reassembles the file at path from healthy block replicas
 // (verifying checksums, skipping failed datanodes) and decodes it into a
-// relation named after the path.
+// relation named after the (view-relative) path.
 func (d *DFS) ReadRelation(path string) (*relation.Relation, error) {
-	d.mu.Lock()
-	f, ok := d.files[path]
+	key := d.resolve(path)
+	d.st.mu.Lock()
+	f, ok := d.st.files[key]
 	var data []byte
 	var err error
 	if ok {
@@ -102,109 +140,124 @@ func (d *DFS) ReadRelation(path string) (*relation.Relation, error) {
 		if eff <= 0 {
 			eff = f.size
 		}
-		d.bytesRead += eff
-		data, err = d.assemble(path, f.blocks)
+		d.st.bytesRead += eff
+		data, err = d.assemble(key, f.blocks)
 	}
-	d.mu.Unlock()
+	d.st.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("dfs: no such file %q", path)
+		return nil, fmt.Errorf("dfs: no such file %q", key)
 	}
 	if err != nil {
 		return nil, err
 	}
 	rel, err := relation.DecodeBytes(path, data)
 	if err != nil {
-		return nil, fmt.Errorf("dfs: decode %q: %w", path, err)
+		return nil, fmt.Errorf("dfs: decode %q: %w", key, err)
 	}
 	return rel, nil
 }
 
 // Stat returns metadata for path.
 func (d *DFS) Stat(path string) (Stat, error) {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	f, ok := d.files[path]
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	key := d.resolve(path)
+	f, ok := d.st.files[key]
 	if !ok {
-		return Stat{}, fmt.Errorf("dfs: no such file %q", path)
+		return Stat{}, fmt.Errorf("dfs: no such file %q", key)
 	}
 	return Stat{Path: path, PhysicalBytes: f.size, LogicalBytes: f.logical, Rows: f.rows}, nil
 }
 
 // Exists reports whether path is stored.
 func (d *DFS) Exists(path string) bool {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	_, ok := d.files[path]
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	_, ok := d.st.files[d.resolve(path)]
 	return ok
 }
 
 // Delete removes path; deleting a missing file is an error so job cleanup
 // bugs surface in tests.
 func (d *DFS) Delete(path string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if _, ok := d.files[path]; !ok {
-		return fmt.Errorf("dfs: no such file %q", path)
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	key := d.resolve(path)
+	if _, ok := d.st.files[key]; !ok {
+		return fmt.Errorf("dfs: no such file %q", key)
 	}
-	delete(d.files, path)
+	delete(d.st.files, key)
 	return nil
 }
 
 // Rename moves a file without any I/O cost (metadata-only, as in HDFS).
 func (d *DFS) Rename(from, to string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[from]
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	fromKey, toKey := d.resolve(from), d.resolve(to)
+	f, ok := d.st.files[fromKey]
 	if !ok {
-		return fmt.Errorf("dfs: no such file %q", from)
+		return fmt.Errorf("dfs: no such file %q", fromKey)
 	}
-	delete(d.files, from)
-	d.files[to] = f
+	delete(d.st.files, fromKey)
+	d.st.files[toKey] = f
 	return nil
 }
 
 // Copy duplicates a file's metadata and bytes under a new path without I/O
-// accounting (the loop driver uses it to seed iteration state).
+// accounting (sessions use it to link inputs into a namespace and the loop
+// driver uses it to seed iteration state).
 func (d *DFS) Copy(from, to string) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	f, ok := d.files[from]
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	fromKey := d.resolve(from)
+	f, ok := d.st.files[fromKey]
 	if !ok {
-		return fmt.Errorf("dfs: no such file %q", from)
+		return fmt.Errorf("dfs: no such file %q", fromKey)
 	}
-	d.files[to] = &file{blocks: f.blocks, size: f.size, logical: f.logical, rows: f.rows}
+	d.st.files[d.resolve(to)] = &file{blocks: f.blocks, size: f.size, logical: f.logical, rows: f.rows}
 	return nil
 }
 
-// List returns all stored paths in sorted order.
+// List returns the view's stored paths in sorted order: everything for the
+// root view, and only (view-relative) paths under the prefix for a
+// namespaced view.
 func (d *DFS) List() []string {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	paths := make([]string, 0, len(d.files))
-	for p := range d.files {
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	paths := make([]string, 0, len(d.st.files))
+	for p := range d.st.files {
+		if d.prefix != "" {
+			if !strings.HasPrefix(p, d.prefix) {
+				continue
+			}
+			p = p[len(d.prefix):]
+		}
 		paths = append(paths, p)
 	}
 	sort.Strings(paths)
 	return paths
 }
 
-// BytesRead returns cumulative effective bytes read since creation.
+// BytesRead returns cumulative effective bytes read since creation
+// (shared across all views).
 func (d *DFS) BytesRead() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.bytesRead
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	return d.st.bytesRead
 }
 
-// BytesWritten returns cumulative effective bytes written since creation.
+// BytesWritten returns cumulative effective bytes written since creation
+// (shared across all views).
 func (d *DFS) BytesWritten() int64 {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.bytesWritten
+	d.st.mu.RLock()
+	defer d.st.mu.RUnlock()
+	return d.st.bytesWritten
 }
 
 // ResetCounters zeroes the I/O counters (between benchmark phases).
 func (d *DFS) ResetCounters() {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.bytesRead, d.bytesWritten = 0, 0
+	d.st.mu.Lock()
+	defer d.st.mu.Unlock()
+	d.st.bytesRead, d.st.bytesWritten = 0, 0
 }

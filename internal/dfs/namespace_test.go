@@ -1,0 +1,117 @@
+package dfs
+
+import (
+	"reflect"
+	"testing"
+
+	"musketeer/internal/relation"
+)
+
+func rel2(t *testing.T, name string, vals ...int64) *relation.Relation {
+	t.Helper()
+	r := relation.New(name, relation.NewSchema("v:int"))
+	for _, v := range vals {
+		r.MustAppend(relation.Row{relation.Int(v)})
+	}
+	return r
+}
+
+func TestNamespaceIsolation(t *testing.T) {
+	root := New()
+	a := root.Namespace("__run/1")
+	b := root.Namespace("__run/2")
+
+	if err := a.WriteRelation("out", rel2(t, "out", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteRelation("out", rel2(t, "out", 2)); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := a.ReadRelation("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := b.ReadRelation("out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ra.Rows[0][0].I != 1 || rb.Rows[0][0].I != 2 {
+		t.Errorf("views clobbered each other: a=%v b=%v", ra.Rows, rb.Rows)
+	}
+	// The root view addresses both via full paths.
+	if !root.Exists("__run/1/out") || !root.Exists("__run/2/out") {
+		t.Errorf("root view missing namespaced files: %v", root.List())
+	}
+	// The namespaced views do not see each other or the root's files.
+	if a.Exists("__run/2/out") {
+		// a resolves that to __run/1/__run/2/out, which must not exist
+		t.Error("namespace prefixes do not compose")
+	}
+	if err := root.WriteRelation("plain", rel2(t, "plain", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Exists("plain") {
+		t.Error("namespaced view sees root files")
+	}
+}
+
+func TestNamespaceListScoped(t *testing.T) {
+	root := New()
+	ns := root.Namespace("sess")
+	for _, p := range []string{"x", "dir/y"} {
+		if err := ns.WriteRelation(p, rel2(t, p, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := root.WriteRelation("top", rel2(t, "top", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ns.List(), []string{"dir/y", "x"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ns.List() = %v, want %v", got, want)
+	}
+	if got, want := root.List(), []string{"sess/dir/y", "sess/x", "top"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("root.List() = %v, want %v", got, want)
+	}
+}
+
+func TestNamespaceNesting(t *testing.T) {
+	root := New()
+	loop := root.Namespace("__run/7").Namespace("__loop/ranks")
+	if err := loop.WriteRelation("state", rel2(t, "state", 9)); err != nil {
+		t.Fatal(err)
+	}
+	if !root.Exists("__run/7/__loop/ranks/state") {
+		t.Errorf("nested namespace resolved wrong: %v", root.List())
+	}
+	if got := loop.Prefix(); got != "__run/7/__loop/ranks" {
+		t.Errorf("Prefix() = %q", got)
+	}
+	if root.Namespace("") != root {
+		t.Error("empty namespace should return the receiver")
+	}
+}
+
+func TestNamespaceSharesCountersAndNodes(t *testing.T) {
+	root := New()
+	ns := root.Namespace("n")
+	if err := ns.WriteRelation("f", rel2(t, "f", 1, 2, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ns.ReadRelation("f"); err != nil {
+		t.Fatal(err)
+	}
+	if root.BytesWritten() == 0 || root.BytesRead() == 0 {
+		t.Errorf("I/O counters not shared: written=%d read=%d", root.BytesWritten(), root.BytesRead())
+	}
+	// Cross-view copy via the root addresses namespaced files by full path.
+	if err := root.Copy("n/f", "published"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := root.ReadRelation("published")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Errorf("published rows = %d", got.NumRows())
+	}
+}

@@ -1,11 +1,32 @@
 package engines
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
 	"musketeer/internal/cluster"
 )
+
+// TransientError is a fault-injected whole-job failure: the job's driver
+// (or single machine) died mid-run, so the attempt produced nothing and
+// can simply be re-submitted. The scheduler's retry predicate
+// (IsTransient) recognizes it.
+type TransientError struct {
+	Job     string
+	Attempt int
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("transient failure killed job %s (attempt %d)", e.Job, e.Attempt+1)
+}
+
+// IsTransient reports whether err is (or wraps) a fault-injected transient
+// job failure — the retry predicate handed to the scheduler.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
 
 // FaultTolerance classifies how a back-end recovers from worker failure
 // (the fault-tolerance column of paper Table 3).
@@ -67,8 +88,33 @@ type FaultModel struct {
 	// CheckpointIntervalS is the checkpoint period for FTCheckpoint
 	// engines (default 60 simulated seconds).
 	CheckpointIntervalS float64
+	// JobFailureProb is the probability that an individual job attempt is
+	// killed outright (driver/master loss) rather than merely slowed by
+	// worker churn. Failed attempts surface as TransientError so the
+	// scheduler's per-job retry can re-submit them. Zero disables.
+	JobFailureProb float64
 	// Seed makes the injection reproducible.
 	Seed int64
+}
+
+// FailAttempt draws the (job, attempt) pair's fate from the seeded model:
+// a nil return means the attempt survives, a *TransientError means the
+// attempt dies before producing output. The draw is deterministic per
+// (seed, job, attempt) — and varies across attempts, so retried jobs are
+// not doomed to repeat the same failure. Nil models never fail anything.
+func (fm *FaultModel) FailAttempt(job string, attempt int) error {
+	if fm == nil || fm.JobFailureProb <= 0 {
+		return nil
+	}
+	seed := fm.Seed
+	for _, ch := range job {
+		seed = seed*131 + int64(ch)
+	}
+	seed = seed*1000003 + int64(attempt) + 1
+	if rand.New(rand.NewSource(seed)).Float64() < fm.JobFailureProb {
+		return &TransientError{Job: job, Attempt: attempt}
+	}
+	return nil
 }
 
 // RecoveryOverhead returns the extra simulated time failures add to a job

@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"errors"
 	"testing"
 
 	"musketeer/internal/cluster"
@@ -115,3 +116,43 @@ func TestRunWithFaultInjection(t *testing.T) {
 		t.Error("failure injection changed results")
 	}
 }
+
+func TestFailAttemptDeterministicPerAttempt(t *testing.T) {
+	fm := &FaultModel{MTBFSeconds: 100, JobFailureProb: 0.5, Seed: 7}
+	// Deterministic: the same (job, attempt) always draws the same fate.
+	for attempt := 0; attempt < 8; attempt++ {
+		a := fm.FailAttempt("job_a", attempt)
+		b := fm.FailAttempt("job_a", attempt)
+		if (a == nil) != (b == nil) {
+			t.Fatalf("attempt %d: non-deterministic draw", attempt)
+		}
+	}
+	// Varies across attempts: with p=0.5 over 32 attempts both fates occur.
+	died, survived := 0, 0
+	for attempt := 0; attempt < 32; attempt++ {
+		if err := fm.FailAttempt("job_a", attempt); err != nil {
+			if !IsTransient(err) {
+				t.Fatalf("FailAttempt returned non-transient error %v", err)
+			}
+			died++
+		} else {
+			survived++
+		}
+	}
+	if died == 0 || survived == 0 {
+		t.Errorf("attempt draws degenerate: %d died, %d survived", died, survived)
+	}
+	// Disabled / nil models never fail.
+	if err := (&FaultModel{MTBFSeconds: 100}).FailAttempt("j", 0); err != nil {
+		t.Errorf("JobFailureProb=0 failed a job: %v", err)
+	}
+	var nilFM *FaultModel
+	if err := nilFM.FailAttempt("j", 0); err != nil {
+		t.Errorf("nil model failed a job: %v", err)
+	}
+	if IsTransient(errDummy) {
+		t.Error("IsTransient matched a plain error")
+	}
+}
+
+var errDummy = errors.New("plain failure")

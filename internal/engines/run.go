@@ -1,6 +1,7 @@
 package engines
 
 import (
+	"context"
 	"fmt"
 
 	"musketeer/internal/cluster"
@@ -11,11 +12,29 @@ import (
 
 // RunContext is the deployment a job executes on.
 type RunContext struct {
+	// Ctx carries the execution's cancellation and deadline; Run observes
+	// it between phases and operators. Nil means no cancellation
+	// (context.Background()).
+	Ctx context.Context
+	// DFS is the storage view the job reads and writes — for workflow
+	// executions, a per-session namespaced view.
 	DFS     *dfs.DFS
 	Cluster *cluster.Cluster
 	// Faults, when non-nil, injects worker failures; each engine recovers
 	// per its Table 3 mechanism (task retry, lineage, checkpoint, restart).
 	Faults *FaultModel
+	// Attempt is the scheduler's 0-based retry attempt for this job; the
+	// fault model derives per-attempt failure draws from it so a retried
+	// job does not deterministically die the same death.
+	Attempt int
+}
+
+// Context returns the execution context, defaulting to Background.
+func (c RunContext) Context() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
 }
 
 // CostBreakdown decomposes a job's simulated makespan into the phases of
@@ -73,6 +92,15 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 	if p.While != nil && !p.Iterative {
 		return nil, fmt.Errorf("%s: WHILE fragment requires the iteration driver", p.Engine.Name())
 	}
+	cctx := ctx.Context()
+	if err := cctx.Err(); err != nil {
+		return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+	}
+	// Transient whole-job failures (driver/master loss) are injected before
+	// any output is written, so a retried attempt replays cleanly.
+	if err := ctx.Faults.FailAttempt(p.Frag.Name(), ctx.Attempt); err != nil {
+		return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+	}
 	env := exec.Env{}
 	var pullBytes int64
 	for _, in := range p.Frag.ExtIn {
@@ -90,6 +118,12 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 		if op.Type == ir.OpInput {
 			continue
 		}
+		// Cancellation is observed at operator granularity: a cancelled
+		// multi-operator job stops between kernels instead of running the
+		// whole fragment to completion.
+		if err := cctx.Err(); err != nil {
+			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
 		rel, err := exec.RunOp(op, env, trace)
 		if err != nil {
 			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
@@ -104,6 +138,9 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 
 	var pushBytes int64
 	for _, out := range p.Frag.ExtOut {
+		if err := cctx.Err(); err != nil {
+			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
 		rel, ok := env[out.Out]
 		if !ok {
 			return nil, fmt.Errorf("%s: output %q not materialized", p.Engine.Name(), out.Out)

@@ -182,6 +182,7 @@ func RunWhile(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
 		maxIter = 1 << 20 // condition-only loop; CondRel must terminate it
 	}
 	iters := 0
+	converged := op.Params.CondRel == "" // bounded loops terminate by cap
 	var lastOut Env
 	for ; iters < maxIter; iters++ {
 		outEnv, bodyTrace, err := RunDAG(body, loopEnv)
@@ -204,12 +205,21 @@ func RunWhile(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
 				return nil, fmt.Errorf("exec: %s: condition relation %q missing", op, op.Params.CondRel)
 			}
 			if cond.NumRows() == 0 {
+				converged = true
 				iters++
 				break
 			}
 		}
 	}
 	trace.Iterations[op.ID] = iters
+	if !converged {
+		// A data-dependent loop that exhausts its iteration cap with the
+		// stop condition still non-empty never reached its fixpoint;
+		// returning the truncated state silently would present a wrong
+		// answer as a result.
+		return nil, fmt.Errorf("exec: %s: WHILE did not converge: condition %q still non-empty after %d iterations (cap %d)",
+			op, op.Params.CondRel, iters, maxIter)
+	}
 	res := op.ResultRelation()
 	// After the final rebind, the result is the carried value now bound to
 	// the body input side; find it via the carry mapping.

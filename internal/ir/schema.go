@@ -71,22 +71,6 @@ func (d *DAG) inferBodySchemas(outer map[string]relation.Schema) (map[*Op]relati
 	return d.inferLocked()
 }
 
-// BindBodySchemas binds outer schemas onto the body DAG's INPUT operators
-// under the body's inference lock, without inferring. The workflow analyzer
-// uses it to propagate schemas into WHILE bodies while collecting every
-// body diagnostic itself (inferBodySchemas stops at the first error).
-func (d *DAG) BindBodySchemas(outer map[string]relation.Schema) {
-	d.inferMu.Lock()
-	defer d.inferMu.Unlock()
-	for _, bop := range d.Ops {
-		if bop.Type == OpInput {
-			if s, ok := outer[bop.Out]; ok {
-				bop.Params.Schema = s
-			}
-		}
-	}
-}
-
 // OutputSchema returns the schema of a single operator given the inferred
 // schemas of its inputs (convenience for code generators).
 func OutputSchema(op *Op, schemas map[*Op]relation.Schema) (relation.Schema, error) {

@@ -1,0 +1,45 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ForEach runs fn(i) for every i in [0, n) across at most workers
+// goroutines and returns when all calls have finished. It is the
+// data-parallel counterpart to Scheduler.Run for independent, homogeneous
+// work items (the exhaustive partitioner's search subtrees): no
+// dependencies, no retry, no admission control — just a bounded worker
+// loop owned by this package so client packages stay goroutine-free.
+// Indices are claimed atomically, so call order is unspecified; fn must be
+// safe to run concurrently with itself.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}

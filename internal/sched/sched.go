@@ -1,0 +1,311 @@
+// Package sched is the execution stack's job scheduler — and its only
+// sanctioned source of concurrency (a mklint rule forbids bare go
+// statements in internal/core and internal/engines).
+//
+// A Scheduler dispatches DAGs of jobs with bounded-worker admission
+// control: every deployment owns one scheduler, concurrent workflow
+// submissions share its worker budget, and a job runs only once all of its
+// dependencies have succeeded. Failure handling is fail-fast: the first
+// job error cancels the submission's context, in-flight siblings observe
+// the cancellation, queued jobs never start, and transitively dependent
+// jobs are skipped outright. Jobs that fail with an error the scheduler's
+// retry predicate accepts (transient fault-injected failures) are retried
+// up to MaxRetries times before the failure is propagated.
+//
+// Simulated time is accounted deterministically: each job reports a
+// simulated duration, and the scheduler derives per-job start/finish times
+// and the submission's makespan from the dependency structure alone —
+// identical numbers regardless of how the real goroutines interleave.
+package sched
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"musketeer/internal/cluster"
+)
+
+// Job is one schedulable unit of a submission.
+type Job struct {
+	// Name labels the job in errors and outcomes.
+	Name string
+	// Deps are indices (into the submitted slice) of jobs that must
+	// succeed before this one is dispatched.
+	Deps []int
+	// Run executes one attempt of the job. attempt is 0-based and
+	// increments across retries. The context carries the submission's
+	// cancellation; long-running jobs must observe it.
+	Run func(ctx context.Context, attempt int) (Result, error)
+}
+
+// Result is what a successful job attempt reports back.
+type Result struct {
+	// Duration is the job's simulated duration; the scheduler derives the
+	// submission's deterministic critical path from these.
+	Duration cluster.Seconds
+	// Value is an arbitrary payload handed back through the outcome.
+	Value any
+}
+
+// Outcome reports one job of a finished submission.
+type Outcome struct {
+	Name     string
+	Value    any
+	Duration cluster.Seconds
+	// Start and Finish place the job on the submission's simulated
+	// timeline: Start is the latest dependency finish, Finish is
+	// Start+Duration. Zero for failed or skipped jobs.
+	Start, Finish cluster.Seconds
+	// Attempts counts Run invocations (0 when the job never started).
+	Attempts int
+	// Err is the job's final error, nil on success or skip.
+	Err error
+	// Skipped marks a job that never ran: a dependency failed or the
+	// submission was cancelled before dispatch.
+	Skipped bool
+}
+
+// JobError wraps a failed job's root-cause error with its name.
+type JobError struct {
+	Job string
+	Err error
+}
+
+func (e *JobError) Error() string { return fmt.Sprintf("job %s: %v", e.Job, e.Err) }
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Report aggregates a finished submission. Outcomes is index-aligned with
+// the submitted jobs.
+type Report struct {
+	Outcomes []Outcome
+	// Makespan is the critical path through the job DAG in simulated
+	// time (zero when any job failed).
+	Makespan cluster.Seconds
+	// SumDuration totals every completed job's simulated duration.
+	SumDuration cluster.Seconds
+	// Err is the first job failure (root cause, wrapped in a *JobError),
+	// or the submission context's error when it was cancelled externally.
+	Err error
+}
+
+// Options configures a Scheduler.
+type Options struct {
+	// Workers bounds how many jobs run at once across every concurrent
+	// submission sharing the scheduler (admission control). <= 0 selects
+	// max(4, GOMAXPROCS).
+	Workers int
+	// MaxRetries is how many times a failed job is re-run when Retryable
+	// accepts its error. Zero disables retry.
+	MaxRetries int
+	// Retryable classifies errors as transient. Nil retries nothing.
+	Retryable func(error) bool
+}
+
+// Scheduler dispatches job DAGs under shared admission control.
+type Scheduler struct {
+	opts Options
+	sem  chan struct{}
+}
+
+// New builds a scheduler.
+func New(opts Options) *Scheduler {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+		if opts.Workers < 4 {
+			opts.Workers = 4
+		}
+	}
+	return &Scheduler{opts: opts, sem: make(chan struct{}, opts.Workers)}
+}
+
+// Workers returns the scheduler's admission bound.
+func (s *Scheduler) Workers() int { return cap(s.sem) }
+
+// Run executes the job DAG under the scheduler's admission control and
+// blocks until every job has completed, failed, or been skipped.
+func (s *Scheduler) Run(ctx context.Context, jobs []Job) *Report {
+	return s.run(ctx, jobs, true)
+}
+
+// RunNested executes a job DAG on behalf of work that is already inside an
+// admitted job (e.g. the WHILE driver dispatching one iteration's body
+// jobs). It bypasses admission control — the parent already holds a worker
+// slot, and waiting for more slots from within it could deadlock — but
+// keeps dependency dispatch, fail-fast cancellation, and retry.
+func (s *Scheduler) RunNested(ctx context.Context, jobs []Job) *Report {
+	return s.run(ctx, jobs, false)
+}
+
+func (s *Scheduler) run(ctx context.Context, jobs []Job, admission bool) *Report {
+	n := len(jobs)
+	rep := &Report{Outcomes: make([]Outcome, n)}
+	if n == 0 {
+		return rep
+	}
+	pending := make([]int, n)      // unresolved dependency counts
+	dependents := make([][]int, n) // reverse edges
+	for i, j := range jobs {
+		for _, d := range j.Deps {
+			if d < 0 || d >= n || d == i {
+				rep.Err = fmt.Errorf("sched: job %d (%s) has invalid dependency %d", i, j.Name, d)
+				return rep
+			}
+			pending[i]++
+			dependents[d] = append(dependents[d], i)
+		}
+	}
+	// Reject cyclic dependency graphs up front (Kahn's algorithm): a cycle
+	// reached mid-run would leave the event loop waiting forever.
+	{
+		deg := append([]int(nil), pending...)
+		queue := make([]int, 0, n)
+		for i, p := range deg {
+			if p == 0 {
+				queue = append(queue, i)
+			}
+		}
+		seen := 0
+		for len(queue) > 0 {
+			i := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			seen++
+			for _, dep := range dependents[i] {
+				if deg[dep]--; deg[dep] == 0 {
+					queue = append(queue, dep)
+				}
+			}
+		}
+		if seen != n {
+			rep.Err = fmt.Errorf("sched: dependency cycle among %d of %d jobs", n-seen, n)
+			return rep
+		}
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type completion struct {
+		i   int
+		out Outcome
+	}
+	completions := make(chan completion, n)
+	start := func(i int) {
+		go func() {
+			completions <- completion{i, s.runJob(runCtx, jobs[i], admission)}
+		}()
+	}
+
+	// resolve records job i's outcome and dispatches (or skips) newly
+	// unblocked dependents. It runs only on this goroutine, so the
+	// bookkeeping needs no locks.
+	finished := 0
+	blocked := make([]bool, n) // some dependency failed or was skipped
+	var resolve func(i int, out Outcome)
+	resolve = func(i int, out Outcome) {
+		rep.Outcomes[i] = out
+		finished++
+		if out.Err != nil && rep.Err == nil {
+			rep.Err = &JobError{Job: jobs[i].Name, Err: out.Err}
+			cancel() // fail fast: stop in-flight siblings, never start queued jobs
+		}
+		failed := out.Err != nil || out.Skipped
+		for _, dep := range dependents[i] {
+			if failed {
+				blocked[dep] = true
+			}
+			pending[dep]--
+			if pending[dep] > 0 {
+				continue
+			}
+			if blocked[dep] {
+				resolve(dep, Outcome{Name: jobs[dep].Name, Skipped: true})
+			} else {
+				start(dep)
+			}
+		}
+	}
+
+	for i := range jobs {
+		if pending[i] == 0 {
+			start(i)
+		}
+	}
+	for finished < n {
+		c := <-completions
+		resolve(c.i, c.out)
+	}
+	if rep.Err == nil {
+		if err := ctx.Err(); err != nil {
+			rep.Err = err
+		}
+	}
+
+	// Deterministic simulated-time accounting over the dependency DAG.
+	for _, out := range rep.Outcomes {
+		rep.SumDuration += out.Duration
+	}
+	if rep.Err == nil {
+		finish := make([]cluster.Seconds, n)
+		done := make([]bool, n)
+		var at func(i int) cluster.Seconds
+		at = func(i int) cluster.Seconds {
+			if done[i] {
+				return finish[i]
+			}
+			done[i] = true // deps are acyclic (validated by dispatch above)
+			var start cluster.Seconds
+			for _, d := range jobs[i].Deps {
+				if f := at(d); f > start {
+					start = f
+				}
+			}
+			rep.Outcomes[i].Start = start
+			rep.Outcomes[i].Finish = start + rep.Outcomes[i].Duration
+			finish[i] = rep.Outcomes[i].Finish
+			return finish[i]
+		}
+		for i := range jobs {
+			if f := at(i); f > rep.Makespan {
+				rep.Makespan = f
+			}
+		}
+	}
+	return rep
+}
+
+// runJob admits and executes one job, retrying transient failures.
+func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool) Outcome {
+	out := Outcome{Name: j.Name}
+	if admission {
+		select {
+		case s.sem <- struct{}{}:
+			defer func() { <-s.sem }()
+		case <-ctx.Done():
+			// Cancelled while queued: the job never started.
+			out.Skipped = true
+			return out
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if attempt == 0 {
+				out.Skipped = true
+			} else {
+				out.Err = err
+			}
+			return out
+		}
+		out.Attempts = attempt + 1
+		res, err := j.Run(ctx, attempt)
+		if err == nil {
+			out.Value, out.Duration = res.Value, res.Duration
+			return out
+		}
+		out.Err = err
+		if attempt >= s.opts.MaxRetries || s.opts.Retryable == nil || !s.opts.Retryable(err) {
+			return out
+		}
+		out.Err = nil // retrying
+	}
+}

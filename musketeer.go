@@ -26,9 +26,12 @@
 package musketeer
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
@@ -43,6 +46,7 @@ import (
 	"musketeer/internal/frontends/pig"
 	"musketeer/internal/ir"
 	"musketeer/internal/relation"
+	"musketeer/internal/sched"
 )
 
 // Re-exported front-end types.
@@ -90,13 +94,22 @@ func NewLindiBuilder(cat Catalog) *LindiBuilder { return lindi.NewBuilder(cat) }
 func NewRelation(name string, schema Schema) *Relation { return relation.New(name, schema) }
 
 // Musketeer is a deployment: a cluster, shared storage, the engine
-// registry, and accumulated workflow history.
+// registry, the job scheduler, and accumulated workflow history.
+//
+// A deployment is safe for concurrent use: every execution runs in its own
+// DFS session namespace, and all executions share the deployment
+// scheduler's admission control, so concurrent workflows compete for the
+// same bounded worker budget instead of oversubscribing the host.
 type Musketeer struct {
 	fs      *dfs.DFS
 	cluster *cluster.Cluster
 	engines map[string]*engines.Engine
 	history *core.History
 	faults  *engines.FaultModel
+	sched   *sched.Scheduler
+	workers int
+	retries int
+	runSeq  atomic.Int64
 }
 
 // Option configures New.
@@ -128,6 +141,33 @@ func WithFaults(mtbfSeconds float64, seed int64) Option {
 	}
 }
 
+// WithConcurrency bounds how many back-end jobs the deployment runs at
+// once across every concurrent workflow execution (admission control).
+// n <= 0 selects the scheduler default, max(4, GOMAXPROCS).
+func WithConcurrency(n int) Option {
+	return func(m *Musketeer) { m.workers = n }
+}
+
+// WithRetries re-submits jobs killed by transient fault injection up to n
+// times each before the failure is propagated (zero disables retry).
+func WithRetries(n int) Option {
+	return func(m *Musketeer) { m.retries = n }
+}
+
+// WithTransientFailures kills individual job attempts outright with the
+// given probability (deterministic per seed, job, and attempt). Combine
+// with WithRetries to exercise the scheduler's re-submission path; without
+// a retry budget the first killed attempt fails the workflow.
+func WithTransientFailures(prob float64, seed int64) Option {
+	return func(m *Musketeer) {
+		if m.faults == nil {
+			m.faults = &engines.FaultModel{Seed: seed}
+		}
+		m.faults.JobFailureProb = prob
+		m.faults.Seed = seed
+	}
+}
+
 // New creates a deployment. Default: the 7-node local cluster, all seven
 // engines registered, empty history.
 func New(opts ...Option) *Musketeer {
@@ -140,6 +180,11 @@ func New(opts ...Option) *Musketeer {
 	for _, o := range opts {
 		o(m)
 	}
+	m.sched = sched.New(sched.Options{
+		Workers:    m.workers,
+		MaxRetries: m.retries,
+		Retryable:  engines.IsTransient,
+	})
 	return m
 }
 
@@ -166,12 +211,18 @@ func (m *Musketeer) EngineNames() []string {
 	return names
 }
 
-// Workflow is a compiled workflow bound to a deployment.
+// Workflow is a compiled workflow bound to a deployment. A compiled
+// workflow may be executed from several goroutines at once: the IR is
+// optimized exactly once, executions never mutate the shared DAG, and each
+// gets its own DFS session namespace.
 type Workflow struct {
 	m   *Musketeer
 	dag *ir.DAG
 	// Mode selects generated-code quality (default ModeOptimized).
 	Mode PlanMode
+
+	optOnce sync.Once
+	optN    int
 }
 
 // CompileHive translates a HiveQL-subset workflow.
@@ -243,7 +294,12 @@ func (w *Workflow) Check() *Report {
 }
 
 // Optimize applies the IR rewrite rules; returns the number of rewrites.
-func (w *Workflow) Optimize() int { return core.Optimize(w.dag) }
+// The rules run once per workflow — repeated (or concurrent) calls return
+// the first invocation's count without touching the DAG again.
+func (w *Workflow) Optimize() int {
+	w.optOnce.Do(func() { w.optN = core.Optimize(w.dag) })
+	return w.optN
+}
 
 // estimator builds a fresh estimator against the staged inputs.
 func (w *Workflow) estimator() (*core.Estimator, error) {
@@ -310,18 +366,50 @@ type Result struct {
 	OOM bool
 	// Partitioning is the plan that ran.
 	Partitioning *Partitioning
+	// Namespace is the execution's DFS session prefix; intermediates and
+	// loop temporaries live under it. Workflow outputs are additionally
+	// published to the deployment root for ReadOutput.
+	Namespace string
 }
 
-// Run executes a previously computed partitioning.
+// Run executes a previously computed partitioning with no cancellation
+// deadline.
 func (w *Workflow) Run(part *Partitioning) (*Result, error) {
+	return w.RunCtx(context.Background(), part)
+}
+
+// RunCtx executes a previously computed partitioning inside a fresh
+// execution session: a private DFS namespace holding the run's
+// intermediates, outputs, and loop temporaries, so concurrent executions
+// of the same (or different) workflows never collide. Inputs are linked
+// into the session (metadata only, no data movement) and the workflow's
+// sink relations are published back to the deployment root on success.
+// Cancelling ctx aborts in-flight jobs and skips queued ones.
+func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, error) {
+	ns := fmt.Sprintf("__run/%d", w.m.runSeq.Add(1))
+	for _, op := range w.dag.Ops {
+		if op.Type != ir.OpInput {
+			continue
+		}
+		path := engines.InputPath(op)
+		if err := w.m.fs.Copy(path, ns+"/"+path); err != nil {
+			return nil, fmt.Errorf("musketeer: staging input %q into session: %w", op.Out, err)
+		}
+	}
 	r := &core.Runner{
-		Ctx:     engines.RunContext{DFS: w.m.fs, Cluster: w.m.cluster, Faults: w.m.faults},
+		Ctx:     engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Faults: w.m.faults},
 		History: w.m.history,
 		Mode:    w.Mode,
+		Sched:   w.m.sched,
 	}
-	res, err := r.Execute(w.dag, part)
+	res, err := r.ExecuteCtx(ctx, w.dag, part)
 	if err != nil {
 		return nil, err
+	}
+	for _, sink := range w.dag.Sinks() {
+		if err := w.m.fs.Copy(ns+"/"+sink.Out, sink.Out); err != nil {
+			return nil, fmt.Errorf("musketeer: publishing output %q: %w", sink.Out, err)
+		}
 	}
 	return &Result{
 		Makespan:     res.Makespan,
@@ -329,27 +417,38 @@ func (w *Workflow) Run(part *Partitioning) (*Result, error) {
 		Jobs:         res.Jobs,
 		OOM:          res.OOM,
 		Partitioning: part,
+		Namespace:    ns,
 	}, nil
 }
 
 // Execute optimizes, auto-plans and runs the workflow.
 func (w *Workflow) Execute() (*Result, error) {
+	return w.ExecuteCtx(context.Background())
+}
+
+// ExecuteCtx optimizes, auto-plans and runs the workflow under ctx.
+func (w *Workflow) ExecuteCtx(ctx context.Context) (*Result, error) {
 	w.Optimize()
 	part, err := w.Plan()
 	if err != nil {
 		return nil, err
 	}
-	return w.Run(part)
+	return w.RunCtx(ctx, part)
 }
 
 // ExecuteOn optimizes, plans for one engine, and runs.
 func (w *Workflow) ExecuteOn(engine string) (*Result, error) {
+	return w.ExecuteOnCtx(context.Background(), engine)
+}
+
+// ExecuteOnCtx optimizes, plans for one engine, and runs under ctx.
+func (w *Workflow) ExecuteOnCtx(ctx context.Context, engine string) (*Result, error) {
 	w.Optimize()
 	part, err := w.PlanFor(engine)
 	if err != nil {
 		return nil, err
 	}
-	return w.Run(part)
+	return w.RunCtx(ctx, part)
 }
 
 // Explain renders the partitioning with the cost model's reasoning: per
