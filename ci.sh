@@ -9,8 +9,13 @@
 # invariants behind PR 1's kernel overhaul (no string row keys or clocks in
 # internal/exec, every engine registers a profile) and PR 3's scheduler
 # refactor (no bare go statements in internal/core or internal/engines —
-# concurrency goes through internal/sched); the analyzer's golden tests run
-# as part of the normal test suite.
+# concurrency goes through internal/sched) and PR 4's observability layer
+# (span-hygiene: every locally held StartSpan/Begin result must be ended in
+# the same function); the analyzer's golden tests run as part of the normal
+# test suite. Two PR 4 gates run explicitly so a regression names itself:
+# the golden Chrome-trace test (the two-engine workflow's span tree is
+# byte-stable) and the disabled-path allocation guard (tracing off must add
+# zero allocations to the instrumented hot paths).
 set -eu
 
 cd "$(dirname "$0")"
@@ -26,6 +31,12 @@ go build ./...
 
 echo "== go test =="
 go test ./...
+
+echo "== golden trace =="
+go test -count=1 -run 'TestTraceGolden' .
+
+echo "== obs disabled-path alloc guard =="
+go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
 
 echo "== go test -race =="
 go test -race ./...

@@ -22,6 +22,8 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	concurrency := flag.Int("concurrency", 0, "run the concurrent-workflow throughput benchmark with this many workflows (0 = skip; <0 = 2×GOMAXPROCS)")
 	concurrencyJSON := flag.String("concurrency-json", "", "write the concurrency benchmark report to this JSON file (e.g. BENCH_concurrency.json)")
+	accuracy := flag.Bool("accuracy", false, "run the estimator-accuracy benchmark (predicted vs simulated makespan per workflow)")
+	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy benchmark report to this JSON file (e.g. BENCH_accuracy.json)")
 	flag.Parse()
 
 	if *list {
@@ -45,10 +47,31 @@ func main() {
 			fmt.Printf("concurrency %-10s %2d workflows  %8.1fms  %6.2f wf/s\n",
 				r.Mode, r.Workflows, r.WallMS, r.ThroughputWFPS)
 		}
-		fmt.Printf("concurrency speedup: %.2fx (GOMAXPROCS=%d)\n", rep.Speedup, rep.GOMAXPROCS)
+		fmt.Printf("concurrency speedup: %.2fx (GOMAXPROCS=%d)\n", rep.Speedup, rep.Meta.GOMAXPROCS)
 		if *concurrencyJSON != "" {
 			if err := bench.WriteConcurrencyJSON(*concurrencyJSON, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "concurrency:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *accuracy || *accuracyJSON != "" {
+		rep, err := bench.RunAccuracy()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "accuracy:", err)
+			os.Exit(1)
+		}
+		for _, w := range rep.Workflows {
+			fmt.Printf("accuracy %-22s %s\n", w.Workflow, w)
+		}
+		s := rep.Summary
+		fmt.Printf("accuracy summary: %d workflows, %d jobs, mean makespan error %+.0f%%, mean |makespan error| %.0f%%, worst %.0f%%\n",
+			s.Workflows, s.Jobs, 100*s.MeanMakespanError, 100*s.MeanAbsMakespanError, 100*s.WorstAbsMakespanError)
+		if *accuracyJSON != "" {
+			if err := bench.WriteAccuracyJSON(*accuracyJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "accuracy:", err)
 				os.Exit(1)
 			}
 		}

@@ -25,6 +25,7 @@ var (
 	determinismDirs = []string{"internal/exec/", "internal/relation/"}
 	engineDirs      = []string{"internal/engines/"}
 	concurrencyDirs = []string{"internal/core/", "internal/engines/"}
+	spanDirs        = []string{"internal/"}
 )
 
 func underAny(path string, dirs []string) bool {
@@ -58,6 +59,10 @@ func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
 					"import of %q: kernel code must be deterministic and clock-free (inject values from the caller)", p)
 			}
 		}
+	}
+
+	if underAny(relpath, spanDirs) {
+		checkSpanHygiene(add, f)
 	}
 
 	hotPath := underAny(relpath, hotPathDirs)
@@ -105,6 +110,129 @@ func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
 		return true
 	})
 	return out
+}
+
+// checkSpanHygiene enforces span-hygiene: every span opened with a
+// StartSpan or Begin call and held in a local variable must be closed in
+// the same function — a deferred or direct .End() on that variable. A span
+// that escapes the function (returned, or stored into a field, slice, map,
+// or another variable) is the recipient's responsibility and is exempt.
+// Each function literal is its own scope: a span opened inside a closure
+// must be ended there, not by the enclosing function.
+func checkSpanHygiene(add func(pos token.Pos, rule, format string, args ...any), f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				lintSpanScope(add, n.Body)
+			}
+		case *ast.FuncLit:
+			lintSpanScope(add, n.Body)
+		}
+		return true
+	})
+}
+
+// lintSpanScope checks one function body. Starts and escapes are collected
+// from the body excluding nested function literals (each is its own
+// scope); .End() calls are collected including nested literals, so
+// `defer func() { sp.End() }()` counts.
+func lintSpanScope(add func(pos token.Pos, rule, format string, args ...any), body *ast.BlockStmt) {
+	type spanStart struct {
+		pos  token.Pos
+		call string
+	}
+	starts := map[string]spanStart{}
+	escaped := map[string]bool{}
+	walkScope(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return
+			}
+			for i, rhs := range n.Rhs {
+				if call, ok := spanCall(rhs); ok {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						if _, dup := starts[id.Name]; !dup {
+							starts[id.Name] = spanStart{pos: rhs.Pos(), call: call}
+						}
+					}
+					continue
+				}
+				// A tracked span copied anywhere else escapes this scope —
+				// except into the blank identifier, which discards it.
+				if lhs, ok := n.Lhs[i].(*ast.Ident); ok && lhs.Name == "_" {
+					continue
+				}
+				if id, ok := rhs.(*ast.Ident); ok {
+					escaped[id.Name] = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if id, ok := res.(*ast.Ident); ok {
+					escaped[id.Name] = true
+				}
+			}
+		}
+	})
+	if len(starts) == 0 {
+		return
+	}
+	ended := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "End" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			ended[id.Name] = true
+		}
+		return true
+	})
+	for name, s := range starts {
+		if ended[name] || escaped[name] {
+			continue
+		}
+		add(s.pos, "span-hygiene",
+			"span %s opened by %s is never ended: add `defer %s.End()` (or return/store the span to hand off ownership)",
+			name, s.call, name)
+	}
+}
+
+// walkScope visits body's nodes, excluding nested function literals.
+func walkScope(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// spanCall reports whether e is a <recv>.StartSpan(...) or <recv>.Begin(...)
+// call (syntactic — any receiver counts, matching the obs API by name).
+func spanCall(e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch sel.Sel.Name {
+	case "StartSpan", "Begin":
+		return sel.Sel.Name, true
+	}
+	return "", false
 }
 
 // fmtStringCall reports whether fun is a call target of the form

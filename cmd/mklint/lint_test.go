@@ -102,6 +102,41 @@ func fanOut(fns []func()) {
 func fire(fn func()) { go fn() }`,
 			rule: "scheduler-only-concurrency",
 		},
+		{
+			name: "span never ended",
+			path: "internal/obs/leak.go",
+			src: `package obs
+func leak(r *Recorder) {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	sp.SetInt("n", 1)
+}`,
+			rule: "span-hygiene",
+		},
+		{
+			name: "span ended only in enclosing scope of a closure",
+			path: "internal/sched/leak.go",
+			src: `package sched
+import "musketeer/internal/obs"
+func dispatch(r *obs.Recorder, run func(func())) {
+	outer := r.StartSpan(nil, "outer", "pipeline")
+	defer outer.End()
+	run(func() {
+		inner := r.StartSpan(outer, "inner", "job")
+		_ = inner
+	})
+}`,
+			rule: "span-hygiene",
+		},
+		{
+			name: "Begin-style span never ended",
+			path: "internal/core/leak.go",
+			src: `package core
+func trace(t interface{ Begin(string) interface{ End() } }) {
+	sp := t.Begin("phase")
+	_ = sp
+}`,
+			rule: "span-hygiene",
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -161,6 +196,60 @@ var byName = map[string]*Engine{}
 var all = []*Engine{Ok()}`
 	if got := lintSource(t, "internal/engines/ok.go", src); len(got) != 0 {
 		t.Errorf("unexpected findings: %v", got)
+	}
+}
+
+// Span hygiene: deferred End, direct End, End from a deferred closure, and
+// spans that escape by return or store are all fine; a span opened inside a
+// closure is that closure's responsibility, not the enclosing function's.
+func TestSpanHygieneClean(t *testing.T) {
+	srcs := map[string]string{
+		"internal/obs/ok_defer.go": `package obs
+func traced(r *Recorder) {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	defer sp.End()
+}`,
+		"internal/obs/ok_direct.go": `package obs
+func traced(r *Recorder) {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	sp.End()
+}`,
+		"internal/obs/ok_closure_end.go": `package obs
+func traced(r *Recorder) {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	defer func() { sp.End() }()
+}`,
+		"internal/obs/ok_returned.go": `package obs
+func begin(r *Recorder) *Span {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	return sp
+}`,
+		"internal/obs/ok_stored.go": `package obs
+func begin(r *Recorder, slots []*Span) {
+	sp := r.StartSpan(nil, "work", "pipeline")
+	slots[0] = sp
+}`,
+		"internal/obs/ok_inner_closure.go": `package obs
+func traced(r *Recorder, run func(func())) {
+	run(func() {
+		sp := r.StartSpan(nil, "job", "job")
+		defer sp.End()
+	})
+}`,
+		// Outside internal/ the rule does not apply.
+		"cmd/tool/main.go": `package main
+type rec struct{}
+type span struct{}
+func (rec) StartSpan(a, b string) span { return span{} }
+func main() {
+	sp := rec{}.StartSpan("x", "y")
+	_ = sp
+}`,
+	}
+	for path, src := range srcs {
+		if got := lintSource(t, path, src); len(got) != 0 {
+			t.Errorf("%s: unexpected findings: %v", path, got)
+		}
 	}
 }
 

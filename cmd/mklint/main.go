@@ -19,6 +19,12 @@
 //     owned by internal/sched (Scheduler.Run / sched.ForEach), which is
 //     what guarantees admission control, fail-fast cancellation, and
 //     deterministic makespan accounting.
+//   - span-hygiene: everywhere under internal/, a span opened with
+//     StartSpan/Begin and held in a local variable must be ended in the
+//     same function (deferred or direct .End()); spans handed off by
+//     return or store are the recipient's responsibility. Leaked spans
+//     never close, so flight-recorder traces would show phases that run
+//     forever.
 //
 // Usage:
 //

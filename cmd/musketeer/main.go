@@ -11,11 +11,21 @@
 // GAS workflows additionally need -gas-vertices / -gas-edges naming the
 // vertex and edge tables.
 //
+// -trace writes the execution's flight recorder as Chrome trace_event JSON
+// (load it at ui.perfetto.dev or chrome://tracing): one lane per concurrent
+// job attempt with engine phases nested beneath, plus the compile, optimize,
+// partition-search, analyze, and schedule pipeline spans.
+//
 // The check subcommand runs the static analyzer only — no execution — and
 // pretty-prints every diagnostic (exit status 1 when any is an error):
 //
 //	musketeer check -frontend hive -workflow q17.hive \
 //	    -schema lineitem=l_partkey:int,l_quantity:float
+//
+// The stats subcommand accepts the same flags as an execution, runs the
+// workflow, and reports observability output instead of result rows: the
+// deployment metrics registry (counters, gauges, histograms; -json for the
+// flat JSON dump) and the estimator's predicted-vs-measured accuracy.
 package main
 
 import (
@@ -44,28 +54,43 @@ func (t tableFlags) Set(v string) error {
 }
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "check" {
-		os.Exit(runCheck(os.Args[2:]))
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "check":
+			os.Exit(runCheck(os.Args[2:]))
+		case "stats":
+			os.Exit(run("stats", os.Args[2:], true))
+		}
 	}
-	frontend := flag.String("frontend", "hive", "front-end framework: hive, beer, pig or gas")
-	workflowPath := flag.String("workflow", "", "workflow source file")
-	engine := flag.String("engine", "auto", `back-end engine, or "auto" for automatic mapping`)
-	clusterSpec := flag.String("cluster", "local:7", "deployment: local:<n> or ec2:<n>")
-	showCode := flag.Bool("show-code", false, "print the generated back-end code")
-	showPlan := flag.Bool("show-plan", false, "print the IR DAG and partitioning")
-	explain := flag.Bool("explain", false, "print the cost model's reasoning for the chosen partitioning")
-	dot := flag.Bool("dot", false, "print the IR DAG in Graphviz dot syntax and exit")
-	gasVertices := flag.String("gas-vertices", "vertices", "GAS front-end: vertex table name")
-	gasEdges := flag.String("gas-edges", "edges", "GAS front-end: edge table name")
-	gasOutput := flag.String("gas-output", "result", "GAS front-end: output relation name")
-	historyPath := flag.String("history", "", "workflow-history file: loaded before planning, saved after the run")
-	mtbf := flag.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
-	timeout := flag.Duration("timeout", 0, "wall-clock deadline for the execution, e.g. 30s (0 = none)")
-	maxConcurrent := flag.Int("max-concurrent", 0, "bound on concurrently running back-end jobs (0 = scheduler default)")
-	retries := flag.Int("retries", 0, "per-job retry budget for transiently failed jobs")
+	os.Exit(run("musketeer", os.Args[1:], false))
+}
+
+// run is the shared execution path of the bare command and the stats
+// subcommand; statsMode switches the post-run report from result rows to
+// metrics and accuracy.
+func run(name string, args []string, statsMode bool) int {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	frontend := fs.String("frontend", "hive", "front-end framework: hive, beer, pig or gas")
+	workflowPath := fs.String("workflow", "", "workflow source file")
+	engine := fs.String("engine", "auto", `back-end engine, or "auto" for automatic mapping`)
+	clusterSpec := fs.String("cluster", "local:7", "deployment: local:<n> or ec2:<n>")
+	showCode := fs.Bool("show-code", false, "print the generated back-end code")
+	showPlan := fs.Bool("show-plan", false, "print the IR DAG and partitioning")
+	explain := fs.Bool("explain", false, "print the cost model's reasoning for the chosen partitioning")
+	dot := fs.Bool("dot", false, "print the IR DAG in Graphviz dot syntax and exit")
+	gasVertices := fs.String("gas-vertices", "vertices", "GAS front-end: vertex table name")
+	gasEdges := fs.String("gas-edges", "edges", "GAS front-end: edge table name")
+	gasOutput := fs.String("gas-output", "result", "GAS front-end: output relation name")
+	historyPath := fs.String("history", "", "workflow-history file: loaded before planning, saved after the run (estimator accuracy is persisted alongside as <file>.accuracy.json)")
+	mtbf := fs.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
+	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the execution, e.g. 30s (0 = none)")
+	maxConcurrent := fs.Int("max-concurrent", 0, "bound on concurrently running back-end jobs (0 = scheduler default)")
+	retries := fs.Int("retries", 0, "per-job retry budget for transiently failed jobs")
+	tracePath := fs.String("trace", "", "write the execution's spans as Chrome trace_event JSON to this file")
+	statsJSON := fs.Bool("json", false, "stats: dump the metrics registry as JSON instead of text")
 	tables := tableFlags{}
-	flag.Var(tables, "table", "stage a relation: name=file (repeatable)")
-	flag.Parse()
+	fs.Var(tables, "table", "stage a relation: name=file (repeatable)")
+	fs.Parse(args)
 
 	if *workflowPath == "" {
 		fail("missing -workflow")
@@ -91,6 +116,9 @@ func main() {
 	}
 	if *retries > 0 {
 		opts = append(opts, musketeer.WithRetries(*retries))
+	}
+	if *tracePath != "" {
+		opts = append(opts, musketeer.WithTracing())
 	}
 	m := musketeer.New(opts...)
 	cat := musketeer.Catalog{}
@@ -129,20 +157,31 @@ func main() {
 		fail("compile: %v", err)
 	}
 
-	wf.Optimize()
 	if *dot {
+		wf.Optimize()
 		fmt.Println(wf.DAG().DOT(*workflowPath))
-		return
+		return 0
 	}
-	var part *musketeer.Partitioning
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	// ExecuteCtx / ExecuteOnCtx run the whole pipeline (optimize, partition
+	// search, session run) so a -trace recorder sees every phase.
+	var res *musketeer.Result
 	if *engine == "auto" {
-		part, err = wf.Plan()
+		res, err = wf.ExecuteCtx(ctx)
 	} else {
-		part, err = wf.PlanFor(*engine)
+		res, err = wf.ExecuteOnCtx(ctx, *engine)
 	}
 	if err != nil {
-		fail("plan: %v", err)
+		fail("run: %v", err)
 	}
+	part := res.Partitioning
+
 	if *showPlan {
 		fmt.Println("IR DAG:")
 		fmt.Println(wf.DAG())
@@ -164,23 +203,60 @@ func main() {
 		fmt.Println(code)
 	}
 
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
-	res, err := wf.RunCtx(ctx, part)
-	if err != nil {
-		fail("run: %v", err)
-	}
 	fmt.Printf("executed %d job(s) on %v, simulated makespan %v\n",
 		len(res.Jobs), part.Engines(), res.Makespan)
 	if *historyPath != "" {
 		if err := m.History().Save(*historyPath); err != nil {
 			fail("history: %v", err)
 		}
+		// The estimator's track record persists next to the history store:
+		// prior runs' records plus this one.
+		accPath := *historyPath + ".accuracy.json"
+		acc, err := musketeer.LoadAccuracyLog(accPath)
+		if err != nil {
+			fail("accuracy: %v", err)
+		}
+		for _, w := range m.Accuracy().Workflows() {
+			acc.Record(w)
+		}
+		if err := acc.Save(accPath); err != nil {
+			fail("accuracy: %v", err)
+		}
 	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fail("trace: %v", err)
+		}
+		if err := res.Flight.WriteChromeTrace(f, musketeer.TraceOptions{}); err != nil {
+			fail("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fail("trace: %v", err)
+		}
+		fmt.Printf("trace: %d span(s) written to %s\n", res.Flight.Len(), *tracePath)
+	}
+
+	if statsMode {
+		fmt.Println("metrics:")
+		if *statsJSON {
+			if err := m.Metrics().WriteJSON(os.Stdout); err != nil {
+				fail("metrics: %v", err)
+			}
+		} else {
+			if err := m.Metrics().WriteText(os.Stdout); err != nil {
+				fail("metrics: %v", err)
+			}
+		}
+		fmt.Println("estimator accuracy:")
+		fmt.Printf("  %s\n", res.Accuracy)
+		for _, j := range res.Accuracy.Jobs {
+			fmt.Printf("  %-10s %-30s predicted %8.1fs actual %8.1fs error %+6.0f%%\n",
+				j.Engine, j.Job, j.PredictedS, j.ActualS, 100*j.Error)
+		}
+		return 0
+	}
+
 	for _, job := range res.Jobs {
 		fmt.Printf("  %-10s %-30s %v\n", job.Engine, job.Job, job.Makespan)
 	}
@@ -204,6 +280,7 @@ func main() {
 		}
 		fmt.Println()
 	}
+	return 0
 }
 
 func clusterOption(spec string) musketeer.Option {

@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/engines"
+	"musketeer/internal/obs"
+	"musketeer/internal/workloads"
+)
+
+// The accuracy benchmark measures the estimator's track record: for a set
+// of representative auto-mapped workloads, how far the planning-time
+// predicted makespan (critical path over per-job estimated costs) lands
+// from the simulated makespan the run actually took. The paper's mapping
+// quality (§6.7) depends directly on these predictions being usable.
+
+// AccuracyReport is the benchmark's JSON artifact (BENCH_accuracy.json).
+type AccuracyReport struct {
+	Description string                  `json:"description"`
+	Meta        Meta                    `json:"meta"`
+	Workflows   []*obs.WorkflowAccuracy `json:"workflows"`
+	Summary     obs.AccuracySummary     `json:"summary"`
+}
+
+// accuracyCases are the representative workloads: a relational query, a
+// recommender join pipeline, an iterative graph computation, and an
+// iterative clustering job — each auto-mapped over the standard engines.
+func accuracyCases() []struct {
+	name string
+	w    *workloads.Workload
+	c    *cluster.Cluster
+} {
+	return []struct {
+		name string
+		w    *workloads.Workload
+		c    *cluster.Cluster
+	}{
+		{"tpch-q17-sf10/ec100", workloads.TPCHQ17(10), cluster.EC2(100)},
+		{"netflix-30/ec100", workloads.Netflix(30), cluster.EC2(100)},
+		{"pagerank-lj-5/ec16", workloads.PageRank(workloads.LiveJournal(), 5), cluster.EC2(16)},
+		{"kmeans-10M/ec100", workloads.KMeans(10_000_000, 100, 5), cluster.EC2(100)},
+	}
+}
+
+// RunAccuracy executes the accuracy cases and aggregates every per-job and
+// per-workflow predicted-vs-measured record into one report.
+func RunAccuracy() (*AccuracyReport, error) {
+	log := obs.NewAccuracyLog()
+	for _, cse := range accuracyCases() {
+		res, err := runAuto(cse.w, cse.c, nil, engines.ModeOptimized, nil)
+		if err != nil {
+			return nil, fmt.Errorf("bench: accuracy %s: %w", cse.name, err)
+		}
+		if res.Accuracy == nil {
+			return nil, fmt.Errorf("bench: accuracy %s: no accuracy record", cse.name)
+		}
+		res.Accuracy.Workflow = cse.name
+		log.Record(res.Accuracy)
+	}
+	return &AccuracyReport{
+		Description: "Estimator accuracy: predicted workflow makespan (critical path over per-job estimated costs at planning time) vs simulated makespan, per job and per workflow, for representative auto-mapped workloads.",
+		Meta:        CollectMeta("-accuracy"),
+		Workflows:   log.Workflows(),
+		Summary:     log.Summary(),
+	}, nil
+}
+
+// WriteAccuracyJSON writes the report as indented JSON.
+func WriteAccuracyJSON(path string, rep *AccuracyReport) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

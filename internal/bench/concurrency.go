@@ -37,8 +37,7 @@ type ConcurrencyRun struct {
 // ConcurrencyReport is the benchmark's JSON artifact (BENCH_concurrency.json).
 type ConcurrencyReport struct {
 	Description string           `json:"description"`
-	Date        string           `json:"date"`
-	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Meta        Meta             `json:"meta"`
 	Workflow    string           `json:"workflow"`
 	Runs        []ConcurrencyRun `json:"runs"`
 	Speedup     float64          `json:"speedup_concurrent_vs_serial"`
@@ -164,8 +163,7 @@ func RunConcurrency(n int, rows int64) (*ConcurrencyReport, error) {
 	}
 	rep := &ConcurrencyReport{
 		Description: "Concurrent-workflow throughput on one shared deployment: N identical Hive workflows (compile+optimize+plan+run each), serial vs concurrent; every execution in its own DFS session under the shared scheduler's admission control.",
-		Date:        time.Now().Format("2006-01-02"),
-		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Meta:        CollectMeta(fmt.Sprintf("-concurrency %d (rows %d)", n, rows)),
 		Workflow:    fmt.Sprintf("hive property join+agg, %d rows per input", rows),
 		Runs: []ConcurrencyRun{
 			{Mode: "serial", Workflows: n, WallMS: float64(serialWall.Microseconds()) / 1000, ThroughputWFPS: wfps(serialWall)},

@@ -21,6 +21,7 @@ import (
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
+	"musketeer/internal/obs"
 	"musketeer/internal/workloads"
 )
 
@@ -91,6 +92,8 @@ type RunResult struct {
 	OOM        bool
 	Failures   int
 	Engines    []string
+	// Accuracy is the execution's predicted-vs-measured makespan record.
+	Accuracy *obs.WorkflowAccuracy
 }
 
 // secs renders a simulated duration for a table cell.
@@ -151,7 +154,8 @@ func (s *session) execute(mode engines.PlanMode, strategy func(est *core.Estimat
 	out := &RunResult{
 		Makespan: res.Makespan, SumJobTime: res.SumJobTime,
 		Jobs: len(res.Jobs), OOM: res.OOM,
-		Engines: part.Engines(),
+		Engines:  part.Engines(),
+		Accuracy: res.Accuracy,
 	}
 	for _, jr := range res.Jobs {
 		out.Failures += jr.Failures

@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Meta stamps a benchmark artifact with the provenance every BENCH_*.json
+// carries: which commit produced it, when, under what parallelism, and with
+// which configuration flags — so a number can be traced back to the exact
+// build and invocation that measured it.
+type Meta struct {
+	// GitCommit is the short hash of HEAD at measurement time (empty when
+	// the benchmark runs outside a git checkout).
+	GitCommit  string `json:"git_commit,omitempty"`
+	Date       string `json:"date"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	// Flags records the benchmark invocation's configuration.
+	Flags string `json:"flags,omitempty"`
+}
+
+// CollectMeta gathers run metadata. flags describes the invocation (e.g.
+// "-concurrency 8"). Failure to resolve the git commit is tolerated — the
+// stamp just omits it.
+func CollectMeta(flags string) Meta {
+	m := Meta{
+		Date:       time.Now().Format("2006-01-02"),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+		Flags:      flags,
+	}
+	if out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output(); err == nil {
+		m.GitCommit = strings.TrimSpace(string(out))
+	}
+	return m
+}

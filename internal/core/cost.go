@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
@@ -79,6 +80,19 @@ type Estimator struct {
 	// because the exhaustive search shares it across worker goroutines.
 	fragMu    sync.RWMutex
 	fragCache map[string]fragChoice
+
+	// searchExplored counts fragment/engine-set evaluations actually
+	// scored; searchMemoHits counts evaluations answered from fragCache.
+	// Together they measure how hard the partition search worked — exported
+	// through SearchStats for the observability layer.
+	searchExplored, searchMemoHits atomic.Int64
+}
+
+// SearchStats reports how many candidate fragments the partition search
+// scored (explored) and how many repeats the memo table absorbed (memoHits)
+// since the estimator was built.
+func (e *Estimator) SearchStats() (explored, memoHits int64) {
+	return e.searchExplored.Load(), e.searchMemoHits.Load()
 }
 
 // NewEstimator analyses the DAG against the stored inputs and history.

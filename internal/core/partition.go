@@ -345,8 +345,10 @@ func (e *Estimator) groupChoice(dag *ir.DAG, group []*ir.Op, engs []*engines.Eng
 	c, ok := e.fragCache[key]
 	e.fragMu.RUnlock()
 	if ok {
+		e.searchMemoHits.Add(1)
 		return c
 	}
+	e.searchExplored.Add(1)
 	choice := fragChoice{cost: Infeasible}
 	if frag, err := ir.NewFragment(dag, group); err == nil {
 		eng, cost := bestEngine(e, frag, engs)

@@ -8,6 +8,7 @@ import (
 	"musketeer/internal/cluster"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
+	"musketeer/internal/obs"
 	"musketeer/internal/sched"
 )
 
@@ -33,6 +34,20 @@ type Runner struct {
 	// Sched dispatches the partitioning's jobs. Nil uses a process-wide
 	// default scheduler bounded by GOMAXPROCS.
 	Sched *sched.Scheduler
+	// Rec, when non-nil, records the execution onto a flight recorder:
+	// analyze and schedule pipeline spans under Span, one span per job
+	// attempt (retries appear as separate attempts), engine phase spans
+	// beneath those, and per-iteration spans for driver-looped WHILEs.
+	Rec *obs.Recorder
+	// Span is the parent the execution's spans hang from (usually the
+	// session's workflow span). Ignored when Rec is nil.
+	Span *obs.Span
+	// Metrics receives scheduler/engine counters and histograms. Nil
+	// disables metric recording.
+	Metrics *obs.Registry
+	// Accuracy, when non-nil, receives the execution's predicted-vs-actual
+	// makespan record (also returned on WorkflowResult.Accuracy).
+	Accuracy *obs.AccuracyLog
 }
 
 // defaultSched serves Runners constructed without an explicit scheduler
@@ -59,6 +74,9 @@ type WorkflowResult struct {
 	Jobs []*engines.RunResult
 	// OOM reports whether any job exceeded its engine's memory capacity.
 	OOM bool
+	// Accuracy compares the planner's predicted per-job costs and critical
+	// path against what the execution actually measured.
+	Accuracy *obs.WorkflowAccuracy
 }
 
 // jobDeps derives the partitioning's dependency lists: job i depends on
@@ -100,22 +118,43 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 	// Last line of defense: the analyzer runs once more before anything
 	// touches the DFS, so a DAG mutated after compilation (or built by a
 	// buggy rewrite) fails with full diagnostics instead of mid-run.
-	if err := analysis.Analyze(dag).Err(); err != nil {
-		return nil, err
+	asp := r.Rec.StartSpan(r.Span, "analyze", "pipeline")
+	analyzeErr := analysis.Analyze(dag).Err()
+	asp.End()
+	if analyzeErr != nil {
+		return nil, analyzeErr
 	}
 	dagHash := dag.Hash()
 	deps := jobDeps(part)
 
+	ssp := r.Rec.StartSpan(r.Span, "schedule", "pipeline")
+	defer ssp.End()
+	ssp.SetInt("jobs", int64(len(part.Jobs)))
+
+	// jobSpans[i] holds job i's most recent attempt span; each slot is
+	// written only by the job's own goroutine and read after the
+	// scheduler's Run returns (the completion channel provides the
+	// happens-before edge), so no lock is needed.
+	jobSpans := make([]*obs.Span, len(part.Jobs))
 	jobs := make([]sched.Job, len(part.Jobs))
 	for i := range part.Jobs {
+		i := i
 		job := part.Jobs[i]
+		spanName := "job:" + job.Frag.Name() // precomputed: no per-attempt alloc when tracing is off
 		jobs[i] = sched.Job{
 			Name: job.Frag.Name(),
 			Deps: deps[i],
 			Run: func(jctx context.Context, attempt int) (sched.Result, error) {
+				jsp := r.Rec.StartSpan(ssp, spanName, "job")
+				defer jsp.End()
+				jsp.NewTrack()
+				jsp.SetStr("engine", job.Engine.Name())
+				jsp.SetInt("attempt", int64(attempt))
+				jobSpans[i] = jsp
 				rctx := r.Ctx
 				rctx.Ctx = jctx
 				rctx.Attempt = attempt
+				rctx.Rec, rctx.Span, rctx.Metrics = r.Rec, jsp, r.Metrics
 				var (
 					runs []*engines.RunResult
 					dur  cluster.Seconds
@@ -131,6 +170,7 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 		}
 	}
 	rep := r.scheduler().Run(ctx, jobs)
+	ssp.End()
 	if rep.Err != nil {
 		return nil, fmt.Errorf("core: %w", rep.Err)
 	}
@@ -142,6 +182,14 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 			r.History.ObserveRuntime(dagHash, FragmentKey(part.Jobs[i].Frag),
 				part.Jobs[i].Engine.Name(), float64(out.Duration))
 		}
+		// Place the job's final attempt on the simulated timeline now that
+		// the scheduler has accounted the whole submission, and attach its
+		// measured scheduling latencies.
+		if sp := jobSpans[i]; sp != nil {
+			sp.SetSim(float64(out.Start), float64(out.Duration))
+			sp.SetFloat("queue_wait_ms", out.QueueWait.Seconds()*1e3)
+			sp.SetFloat("run_wall_ms", out.RunWall.Seconds()*1e3)
+		}
 		runs, _ := out.Value.([]*engines.RunResult)
 		for _, jr := range runs {
 			res.Jobs = append(res.Jobs, jr)
@@ -151,7 +199,54 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 			}
 		}
 	}
+	res.Accuracy = r.accuracy(part, deps, rep)
+	r.Accuracy.Record(res.Accuracy)
 	return res, nil
+}
+
+// accuracy compares the planner's per-job cost predictions against the
+// measured simulated durations: per-job signed relative error, plus the
+// workflow-level comparison of the predicted critical path (the same
+// dependency accounting the scheduler applies to measured durations)
+// against the measured makespan.
+func (r *Runner) accuracy(part *Partitioning, deps [][]int, rep *sched.Report) *obs.WorkflowAccuracy {
+	n := len(part.Jobs)
+	acc := &obs.WorkflowAccuracy{
+		ActualMakespanS: float64(rep.Makespan),
+		Jobs:            make([]obs.JobAccuracy, 0, n),
+	}
+	finish := make([]float64, n)
+	done := make([]bool, n)
+	var at func(i int) float64
+	at = func(i int) float64 {
+		if done[i] {
+			return finish[i]
+		}
+		done[i] = true // deps validated acyclic by the scheduler
+		var start float64
+		for _, d := range deps[i] {
+			if f := at(d); f > start {
+				start = f
+			}
+		}
+		finish[i] = start + float64(part.Jobs[i].Cost)
+		return finish[i]
+	}
+	for i := range part.Jobs {
+		if f := at(i); f > acc.PredictedMakespanS {
+			acc.PredictedMakespanS = f
+		}
+		pred, act := float64(part.Jobs[i].Cost), float64(rep.Outcomes[i].Duration)
+		acc.Jobs = append(acc.Jobs, obs.JobAccuracy{
+			Job:        part.Jobs[i].Frag.Name(),
+			Engine:     part.Jobs[i].Engine.Name(),
+			PredictedS: pred,
+			ActualS:    act,
+			Error:      obs.RelError(pred, act),
+		})
+	}
+	acc.MakespanError = obs.RelError(acc.PredictedMakespanS, acc.ActualMakespanS)
+	return acc
 }
 
 // runPlain executes a fragment as a single job.
@@ -259,6 +354,12 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 	}
 	bodyHash := body.Hash()
 	bodyDeps := jobDeps(part)
+	// Precomputed span names: zero per-iteration allocation when tracing
+	// is off.
+	bodySpanNames := make([]string, len(part.Jobs))
+	for ji := range part.Jobs {
+		bodySpanNames[ji] = "job:" + part.Jobs[ji].Frag.Name()
+	}
 
 	maxIter := w.Params.MaxIter
 	if maxIter <= 0 {
@@ -266,22 +367,34 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 	}
 	var all []*engines.RunResult
 	var total cluster.Seconds
+	// simClock places iteration spans on the loop's simulated timeline:
+	// iterations are strictly sequential, each starting where the previous
+	// one's nested critical path ended.
+	var simClock cluster.Seconds
 	iters := 0
 	converged := w.Params.CondRel == "" // bounded loops terminate by cap
-	for ; iters < maxIter; iters++ {
-		if err := ctx.Err(); err != nil {
-			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
-		}
+	// One driver round, recorded as its own "iteration" span beneath the
+	// job attempt. stop reports loop convergence (condition relation empty).
+	iterOnce := func(iter int) (stop bool, err error) {
+		isp := r.Rec.StartSpan(rctx.Span, "iteration", "while")
+		defer isp.End()
+		isp.SetInt("iter", int64(iter))
+		r.Metrics.Counter("while_iterations_total").Add(1)
 		// One iteration = one nested submission: the driver already holds
 		// a worker slot, so body jobs bypass admission but keep dependency
 		// dispatch, fail-fast cancellation, and retry.
 		iterJobs := make([]sched.Job, len(part.Jobs))
 		for ji := range part.Jobs {
+			ji := ji
 			job := part.Jobs[ji]
 			iterJobs[ji] = sched.Job{
 				Name: job.Frag.Name(),
 				Deps: bodyDeps[ji],
 				Run: func(jctx context.Context, attempt int) (sched.Result, error) {
+					bsp := r.Rec.StartSpan(isp, bodySpanNames[ji], "job")
+					defer bsp.End()
+					bsp.SetStr("engine", eng.Name())
+					bsp.SetInt("attempt", int64(attempt))
 					plan, err := eng.Plan(job.Frag, r.Mode)
 					if err != nil {
 						return sched.Result{}, err
@@ -289,6 +402,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 					jctx2 := lctx
 					jctx2.Ctx = jctx
 					jctx2.Attempt = attempt
+					jctx2.Rec, jctx2.Span, jctx2.Metrics = r.Rec, bsp, r.Metrics
 					jr, err := engines.Run(jctx2, plan)
 					if err != nil {
 						return sched.Result{}, err
@@ -299,7 +413,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 		}
 		rep := r.scheduler().RunNested(ctx, iterJobs)
 		if rep.Err != nil {
-			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, rep.Err)
+			return false, rep.Err
 		}
 		for ji := range part.Jobs {
 			jr := rep.Outcomes[ji].Value.(*engines.RunResult)
@@ -307,22 +421,37 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 			all = append(all, jr)
 			total += jr.Makespan
 		}
+		isp.SetSim(float64(simClock), float64(rep.Makespan))
+		simClock += rep.Makespan
 		// Rebind carried state for the next round.
 		for inName, outName := range w.Params.Carried {
 			if err := loopFS.Copy(outName, loopPath(inName)); err != nil {
-				return nil, 0, err
+				return false, err
 			}
 		}
 		if w.Params.CondRel != "" {
 			st, err := loopFS.Stat(w.Params.CondRel)
 			if err != nil {
-				return nil, 0, err
+				return false, err
 			}
 			if st.Rows == 0 {
-				converged = true
-				iters++
-				break
+				return true, nil
 			}
+		}
+		return false, nil
+	}
+	for ; iters < maxIter; iters++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
+		}
+		stop, err := iterOnce(iters)
+		if err != nil {
+			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
+		}
+		if stop {
+			converged = true
+			iters++
+			break
 		}
 	}
 	if !converged {

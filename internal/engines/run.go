@@ -8,6 +8,7 @@ import (
 	"musketeer/internal/dfs"
 	"musketeer/internal/exec"
 	"musketeer/internal/ir"
+	"musketeer/internal/obs"
 )
 
 // RunContext is the deployment a job executes on.
@@ -27,6 +28,13 @@ type RunContext struct {
 	// fault model derives per-attempt failure draws from it so a retried
 	// job does not deterministically die the same death.
 	Attempt int
+	// Rec and Span, when set, make Run record pull/process/push phase spans
+	// beneath Span (the job attempt's span) on the flight recorder, carrying
+	// the cost model's simulated placements. Metrics receives DFS byte
+	// counters. All three may be nil — instrumentation then costs nothing.
+	Rec     *obs.Recorder
+	Span    *obs.Span
+	Metrics *obs.Registry
 }
 
 // Context returns the execution context, defaulting to Background.
@@ -102,54 +110,21 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 		return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
 	}
 	env := exec.Env{}
-	var pullBytes int64
-	for _, in := range p.Frag.ExtIn {
-		rel, err := ctx.DFS.ReadRelation(InputPath(in))
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", p.Engine.Name(), err)
-		}
-		rel.Name = in.Out
-		env[in.Out] = rel
-		pullBytes += rel.EffectiveBytes()
+	pullBytes, pullSp, err := runPull(ctx, p, env)
+	if err != nil {
+		return nil, err
 	}
-
-	trace := exec.NewTrace()
-	for _, op := range p.Frag.Ops {
-		if op.Type == ir.OpInput {
-			continue
-		}
-		// Cancellation is observed at operator granularity: a cancelled
-		// multi-operator job stops between kernels instead of running the
-		// whole fragment to completion.
-		if err := cctx.Err(); err != nil {
-			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
-		}
-		rel, err := exec.RunOp(op, env, trace)
-		if err != nil {
-			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
-		}
-		env[op.Out] = rel
-		trace.OutBytes[op.ID] = rel.EffectiveBytes()
-		trace.OutRows[op.ID] = rel.NumRows()
-		if op.Type != ir.OpWhile {
-			trace.ProcBytes[op.ID] += rel.EffectiveBytes()
-		}
+	trace, procSp, err := runProcess(ctx, p, env)
+	if err != nil {
+		return nil, err
 	}
-
-	var pushBytes int64
-	for _, out := range p.Frag.ExtOut {
-		if err := cctx.Err(); err != nil {
-			return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
-		}
-		rel, ok := env[out.Out]
-		if !ok {
-			return nil, fmt.Errorf("%s: output %q not materialized", p.Engine.Name(), out.Out)
-		}
-		if err := ctx.DFS.WriteRelation(out.Out, rel); err != nil {
-			return nil, err
-		}
-		pushBytes += rel.EffectiveBytes()
+	pushBytes, pushSp, err := runPush(ctx, p, env)
+	if err != nil {
+		return nil, err
 	}
+	ctx.Metrics.Counter("dfs_pull_bytes_total").Add(pullBytes)
+	ctx.Metrics.Counter("dfs_push_bytes_total").Add(pushBytes)
+	ctx.Metrics.Counter("engine_jobs_total").Add(1)
 
 	res := &RunResult{
 		Job:       p.Frag.Name(),
@@ -173,7 +148,94 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 		res.Recovery, res.Failures = fm.RecoveryOverhead(p.Engine, ctx.Cluster, res.Makespan)
 		res.Makespan += res.Recovery
 	}
+	// The simulated cost breakdown is only known now; place the already-
+	// closed phase spans on the simulated timeline after the fact (pull
+	// covers PULL+LOAD, process covers SHUFFLE+PROCESS).
+	bd := res.Breakdown
+	pullSp.SetSim(float64(bd.Overhead), float64(bd.Pull+bd.Load))
+	procSp.SetSim(float64(bd.Overhead+bd.Pull+bd.Load), float64(bd.Shuffle+bd.Proc))
+	pushSp.SetSim(float64(bd.Overhead+bd.Pull+bd.Load+bd.Shuffle+bd.Proc), float64(bd.Push))
 	return res, nil
+}
+
+// runPull reads the fragment's external inputs into env, recording the
+// "pull" phase span. The returned span is already ended; the caller places
+// it on the simulated timeline once the cost breakdown is known.
+func runPull(ctx RunContext, p *Plan, env exec.Env) (int64, *obs.Span, error) {
+	sp := ctx.Rec.StartSpan(ctx.Span, "pull", "phase")
+	defer sp.End()
+	var pullBytes int64
+	for _, in := range p.Frag.ExtIn {
+		rel, err := ctx.DFS.ReadRelation(InputPath(in))
+		if err != nil {
+			return 0, sp, fmt.Errorf("%s: %w", p.Engine.Name(), err)
+		}
+		rel.Name = in.Out
+		env[in.Out] = rel
+		pullBytes += rel.EffectiveBytes()
+	}
+	sp.SetInt("bytes", pullBytes)
+	sp.SetInt("inputs", int64(len(p.Frag.ExtIn)))
+	return pullBytes, sp, nil
+}
+
+// runProcess evaluates the fragment's operators through the shared
+// kernels, recording the "process" phase span.
+func runProcess(ctx RunContext, p *Plan, env exec.Env) (*exec.Trace, *obs.Span, error) {
+	sp := ctx.Rec.StartSpan(ctx.Span, "process", "phase")
+	defer sp.End()
+	cctx := ctx.Context()
+	trace := exec.NewTrace()
+	ops := 0
+	for _, op := range p.Frag.Ops {
+		if op.Type == ir.OpInput {
+			continue
+		}
+		// Cancellation is observed at operator granularity: a cancelled
+		// multi-operator job stops between kernels instead of running the
+		// whole fragment to completion.
+		if err := cctx.Err(); err != nil {
+			return nil, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
+		rel, err := exec.RunOp(op, env, trace)
+		if err != nil {
+			return nil, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
+		env[op.Out] = rel
+		trace.OutBytes[op.ID] = rel.EffectiveBytes()
+		trace.OutRows[op.ID] = rel.NumRows()
+		if op.Type != ir.OpWhile {
+			trace.ProcBytes[op.ID] += rel.EffectiveBytes()
+		}
+		ops++
+	}
+	sp.SetInt("ops", int64(ops))
+	return trace, sp, nil
+}
+
+// runPush writes the fragment's external outputs back to the DFS,
+// recording the "push" phase span.
+func runPush(ctx RunContext, p *Plan, env exec.Env) (int64, *obs.Span, error) {
+	sp := ctx.Rec.StartSpan(ctx.Span, "push", "phase")
+	defer sp.End()
+	cctx := ctx.Context()
+	var pushBytes int64
+	for _, out := range p.Frag.ExtOut {
+		if err := cctx.Err(); err != nil {
+			return 0, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+		}
+		rel, ok := env[out.Out]
+		if !ok {
+			return 0, sp, fmt.Errorf("%s: output %q not materialized", p.Engine.Name(), out.Out)
+		}
+		if err := ctx.DFS.WriteRelation(out.Out, rel); err != nil {
+			return 0, sp, err
+		}
+		pushBytes += rel.EffectiveBytes()
+	}
+	sp.SetInt("bytes", pushBytes)
+	sp.SetInt("outputs", int64(len(p.Frag.ExtOut)))
+	return pushBytes, sp, nil
 }
 
 // cost converts observed volumes into simulated time. This is the engine

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TraceOptions configures Chrome trace_event export.
+type TraceOptions struct {
+	// ZeroTimes zeroes every wall-clock and simulated timestamp and drops
+	// float (measurement) attributes, leaving only the structural span
+	// tree: names, categories, tracks, and string/integer attributes.
+	// Golden tests use it to compare traces byte-for-byte across runs.
+	ZeroTimes bool
+}
+
+// WriteChromeTrace exports the recorder's spans as Chrome trace_event JSON
+// ("X" complete events inside a traceEvents array), loadable by Perfetto
+// (ui.perfetto.dev) and chrome://tracing.
+//
+// Events are emitted in a deterministic structural order — depth-first,
+// children sorted by (name, creation ID) — because span creation order is
+// scheduling-dependent under concurrent jobs. Track IDs (tid) are assigned
+// during that walk: spans marked NewTrack (job attempts) open a fresh
+// track; all others inherit their parent's, so concurrent attempts render
+// on separate lanes with their engine phases nested beneath them.
+//
+// Simulated-clock placements ride along as per-event args (sim_start_s,
+// sim_dur_s) next to the wall-clock ts/dur, so one trace shows both where
+// the real time went and what the cost model accounted.
+func (r *Recorder) WriteChromeTrace(w io.Writer, opt TraceOptions) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[],"displayTimeUnit":"ms"}`+"\n")
+		return err
+	}
+	spans := r.Spans()
+	children := map[int64][]*Span{}
+	for _, s := range spans {
+		children[s.Parent] = append(children[s.Parent], s)
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool {
+			if kids[i].Name != kids[j].Name {
+				return kids[i].Name < kids[j].Name
+			}
+			return kids[i].ID < kids[j].ID
+		})
+	}
+
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	first := true
+	nextTID := int64(0)
+	var walk func(s *Span, tid int64) error
+	walk = func(s *Span, tid int64) error {
+		if s.ownTrack {
+			nextTID++
+			tid = nextTID
+		}
+		if !first {
+			if _, err := io.WriteString(w, ",\n"); err != nil {
+				return err
+			}
+		}
+		first = false
+		if err := writeEvent(w, s, tid, opt); err != nil {
+			return err
+		}
+		for _, c := range children[s.ID] {
+			if err := walk(c, tid); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	nextTID++
+	rootTID := nextTID
+	for _, root := range children[0] {
+		if err := walk(root, rootTID); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "],\"displayTimeUnit\":\"ms\"}\n")
+	return err
+}
+
+// writeEvent emits one "X" (complete) event. JSON is assembled by hand so
+// args preserve attribute insertion order (encoding/json would sort map
+// keys and lose the instrumentation site's intent).
+func writeEvent(w io.Writer, s *Span, tid int64, opt TraceOptions) error {
+	ts, dur := s.Start.Microseconds(), s.Dur.Microseconds()
+	if opt.ZeroTimes {
+		ts, dur = 0, 0
+	}
+	name, err := json.Marshal(s.Name)
+	if err != nil {
+		return err
+	}
+	cat, err := json.Marshal(s.Cat)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, `{"name":%s,"cat":%s,"ph":"X","ts":%d,"dur":%d,"pid":1,"tid":%d,"args":{`,
+		name, cat, ts, dur, tid); err != nil {
+		return err
+	}
+	wroteArg := false
+	arg := func(key string, val string) error {
+		k, err := json.Marshal(key)
+		if err != nil {
+			return err
+		}
+		if wroteArg {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		wroteArg = true
+		_, err = fmt.Fprintf(w, "%s:%s", k, val)
+		return err
+	}
+	if !opt.ZeroTimes && s.SimDur >= 0 {
+		start := s.SimStart
+		if start < 0 {
+			start = 0
+		}
+		if err := arg("sim_start_s", fmt.Sprintf("%g", start)); err != nil {
+			return err
+		}
+		if err := arg("sim_dur_s", fmt.Sprintf("%g", s.SimDur)); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.Attrs() {
+		switch a.Kind {
+		case AttrStr:
+			v, err := json.Marshal(a.Str)
+			if err != nil {
+				return err
+			}
+			if err := arg(a.Key, string(v)); err != nil {
+				return err
+			}
+		case AttrInt:
+			if err := arg(a.Key, fmt.Sprintf("%d", a.Int)); err != nil {
+				return err
+			}
+		case AttrFloat:
+			if opt.ZeroTimes {
+				continue // measurements are run-dependent; drop for goldens
+			}
+			if err := arg(a.Key, fmt.Sprintf("%g", a.Float)); err != nil {
+				return err
+			}
+		}
+	}
+	_, err = io.WriteString(w, "}}")
+	return err
+}

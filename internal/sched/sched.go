@@ -22,8 +22,10 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"time"
 
 	"musketeer/internal/cluster"
+	"musketeer/internal/obs"
 )
 
 // Job is one schedulable unit of a submission.
@@ -59,6 +61,11 @@ type Outcome struct {
 	Start, Finish cluster.Seconds
 	// Attempts counts Run invocations (0 when the job never started).
 	Attempts int
+	// QueueWait is how long the job waited (real wall clock) between
+	// submission and dispatch — time spent queued behind admission control
+	// and unresolved dependencies. RunWall is the wall-clock time spent in
+	// Run calls, retries included. Both are zero for skipped jobs.
+	QueueWait, RunWall time.Duration
 	// Err is the job's final error, nil on success or skip.
 	Err error
 	// Skipped marks a job that never ran: a dependency failed or the
@@ -100,6 +107,10 @@ type Options struct {
 	MaxRetries int
 	// Retryable classifies errors as transient. Nil retries nothing.
 	Retryable func(error) bool
+	// Metrics, when set, receives scheduler counters and latency
+	// histograms (jobs completed/failed/skipped, retries, queue wait and
+	// run wall time). Nil disables metric recording at zero cost.
+	Metrics *obs.Registry
 }
 
 // Scheduler dispatches job DAGs under shared admission control.
@@ -185,6 +196,11 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, admission bool) *Report
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// Every job is considered submitted now; queue wait measures from here
+	// to the moment its first attempt begins (dependency resolution plus
+	// admission control).
+	submitted := time.Now()
+
 	type completion struct {
 		i   int
 		out Outcome
@@ -192,7 +208,7 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, admission bool) *Report
 	completions := make(chan completion, n)
 	start := func(i int) {
 		go func() {
-			completions <- completion{i, s.runJob(runCtx, jobs[i], admission)}
+			completions <- completion{i, s.runJob(runCtx, jobs[i], admission, submitted)}
 		}()
 	}
 
@@ -271,11 +287,38 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, admission bool) *Report
 			}
 		}
 	}
+	s.recordMetrics(rep)
 	return rep
 }
 
+// recordMetrics publishes one finished submission's outcomes to the
+// scheduler's metrics registry (a free no-op when Options.Metrics is nil).
+func (s *Scheduler) recordMetrics(rep *Report) {
+	m := s.opts.Metrics
+	if m == nil {
+		return
+	}
+	for _, out := range rep.Outcomes {
+		switch {
+		case out.Skipped:
+			m.Counter("sched_jobs_skipped_total").Add(1)
+		case out.Err != nil:
+			m.Counter("sched_jobs_failed_total").Add(1)
+		default:
+			m.Counter("sched_jobs_completed_total").Add(1)
+		}
+		if out.Attempts > 1 {
+			m.Counter("sched_job_retries_total").Add(int64(out.Attempts - 1))
+		}
+		if out.Attempts > 0 {
+			m.Histogram("sched_queue_wait_ms").Observe(float64(out.QueueWait) / float64(time.Millisecond))
+			m.Histogram("sched_run_ms").Observe(float64(out.RunWall) / float64(time.Millisecond))
+		}
+	}
+}
+
 // runJob admits and executes one job, retrying transient failures.
-func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool) Outcome {
+func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool, submitted time.Time) Outcome {
 	out := Outcome{Name: j.Name}
 	if admission {
 		select {
@@ -296,8 +339,14 @@ func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool) Outcome {
 			}
 			return out
 		}
+		if attempt == 0 {
+			// Dispatched: dependency resolution and admission are behind us.
+			out.QueueWait = time.Since(submitted)
+		}
 		out.Attempts = attempt + 1
+		attemptStart := time.Now()
 		res, err := j.Run(ctx, attempt)
+		out.RunWall += time.Since(attemptStart)
 		if err == nil {
 			out.Value, out.Duration = res.Value, res.Duration
 			return out

@@ -32,6 +32,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"musketeer/internal/analysis"
 	"musketeer/internal/cluster"
@@ -45,6 +46,7 @@ import (
 	"musketeer/internal/frontends/lindi"
 	"musketeer/internal/frontends/pig"
 	"musketeer/internal/ir"
+	"musketeer/internal/obs"
 	"musketeer/internal/relation"
 	"musketeer/internal/sched"
 )
@@ -71,7 +73,25 @@ type (
 	Partitioning = core.Partitioning
 	// PlanMode selects generated-code quality.
 	PlanMode = engines.PlanMode
+	// FlightRecorder is the per-run span recorder (see Result.Flight).
+	FlightRecorder = obs.Recorder
+	// TraceOptions configures Chrome trace_event export.
+	TraceOptions = obs.TraceOptions
+	// MetricsRegistry is the deployment-wide metrics store.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of every metric.
+	MetricsSnapshot = obs.Snapshot
+	// WorkflowAccuracy compares predicted against measured makespans.
+	WorkflowAccuracy = obs.WorkflowAccuracy
+	// AccuracyLog accumulates estimator accuracy across executions.
+	AccuracyLog = obs.AccuracyLog
+	// AccuracySummary condenses an accuracy log.
+	AccuracySummary = obs.AccuracySummary
 )
+
+// LoadAccuracyLog reads an estimator-accuracy log saved by AccuracyLog.Save;
+// a missing file yields an empty log.
+func LoadAccuracyLog(path string) (*AccuracyLog, error) { return obs.LoadAccuracyLog(path) }
 
 // Code-generation modes.
 const (
@@ -110,6 +130,13 @@ type Musketeer struct {
 	workers int
 	retries int
 	runSeq  atomic.Int64
+	// tracing makes every execution carry a flight recorder (Result.Flight);
+	// off by default so instrumented hot paths stay allocation-free.
+	tracing bool
+	// metrics and accuracy are always on: counters and an estimator
+	// track record are cheap and shared by every execution.
+	metrics  *obs.Registry
+	accuracy *obs.AccuracyLog
 }
 
 // Option configures New.
@@ -154,6 +181,16 @@ func WithRetries(n int) Option {
 	return func(m *Musketeer) { m.retries = n }
 }
 
+// WithTracing makes every execution record a flight recorder of
+// hierarchical spans — workflow, compile/optimize/partition-search,
+// analyze, schedule, per-attempt job spans, engine phases, and WHILE
+// iterations — exposed on Result.Flight and exportable as Chrome
+// trace_event JSON. Tracing is per-run: each execution gets its own
+// recorder. Off by default; the disabled path adds zero allocations.
+func WithTracing() Option {
+	return func(m *Musketeer) { m.tracing = true }
+}
+
 // WithTransientFailures kills individual job attempts outright with the
 // given probability (deterministic per seed, job, and attempt). Combine
 // with WithRetries to exercise the scheduler's re-submission path; without
@@ -172,10 +209,12 @@ func WithTransientFailures(prob float64, seed int64) Option {
 // engines registered, empty history.
 func New(opts ...Option) *Musketeer {
 	m := &Musketeer{
-		fs:      dfs.New(),
-		cluster: cluster.Local(7),
-		engines: engines.Registry(),
-		history: core.NewHistory(),
+		fs:       dfs.New(),
+		cluster:  cluster.Local(7),
+		engines:  engines.Registry(),
+		history:  core.NewHistory(),
+		metrics:  obs.NewRegistry(),
+		accuracy: obs.NewAccuracyLog(),
 	}
 	for _, o := range opts {
 		o(m)
@@ -184,8 +223,27 @@ func New(opts ...Option) *Musketeer {
 		Workers:    m.workers,
 		MaxRetries: m.retries,
 		Retryable:  engines.IsTransient,
+		Metrics:    m.metrics,
 	})
 	return m
+}
+
+// Metrics returns the deployment-wide metrics registry: scheduler and
+// engine counters and latency histograms accumulated across every
+// execution.
+func (m *Musketeer) Metrics() *MetricsRegistry { return m.metrics }
+
+// Accuracy returns the deployment's estimator-accuracy log: one
+// predicted-vs-measured record per executed workflow.
+func (m *Musketeer) Accuracy() *AccuracyLog { return m.accuracy }
+
+// startRun opens a flight recorder for one execution (nil when tracing is
+// off — every instrumentation site downstream then no-ops for free).
+func (m *Musketeer) startRun() *obs.Recorder {
+	if !m.tracing {
+		return nil
+	}
+	return obs.NewRecorder()
 }
 
 // WriteInput stages a relation in the shared DFS.
@@ -223,59 +281,76 @@ type Workflow struct {
 
 	optOnce sync.Once
 	optN    int
+	// compileWall is how long front-end translation took; traced
+	// executions replay it as a "compile" span (compilation happens before
+	// any per-run recorder exists).
+	compileWall time.Duration
+}
+
+// newWorkflow wraps a freshly compiled DAG, recording the front-end
+// translation time and the deployment's compile counter.
+func (m *Musketeer) newWorkflow(dag *ir.DAG, compileStart time.Time) *Workflow {
+	m.metrics.Counter("workflows_compiled_total").Add(1)
+	return &Workflow{m: m, dag: dag, compileWall: time.Since(compileStart)}
 }
 
 // CompileHive translates a HiveQL-subset workflow.
 func (m *Musketeer) CompileHive(src string, cat Catalog) (*Workflow, error) {
+	start := time.Now()
 	dag, err := hive.Parse(src, cat)
 	if err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // CompileBEER translates a BEER workflow.
 func (m *Musketeer) CompileBEER(src string, cat Catalog) (*Workflow, error) {
+	start := time.Now()
 	dag, err := beer.Parse(src, cat)
 	if err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // CompileGAS translates a Gather-Apply-Scatter program.
 func (m *Musketeer) CompileGAS(src string, cat Catalog, cfg GASConfig) (*Workflow, error) {
+	start := time.Now()
 	dag, err := gas.Parse(src, cat, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // CompilePig translates a Pig Latin-subset workflow.
 func (m *Musketeer) CompilePig(src string, cat Catalog) (*Workflow, error) {
+	start := time.Now()
 	dag, err := pig.Parse(src, cat)
 	if err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // CompileLindi finalizes a Lindi builder into a workflow.
 func (m *Musketeer) CompileLindi(b *LindiBuilder) (*Workflow, error) {
+	start := time.Now()
 	dag, err := b.Build()
 	if err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // FromDAG wraps a hand-built IR DAG (validating it first).
 func (m *Musketeer) FromDAG(dag *ir.DAG) (*Workflow, error) {
+	start := time.Now()
 	if err := dag.Validate(); err != nil {
 		return nil, err
 	}
-	return &Workflow{m: m, dag: dag}, nil
+	return m.newWorkflow(dag, start), nil
 }
 
 // DAG exposes the workflow's intermediate representation.
@@ -314,7 +389,12 @@ func (w *Workflow) Plan() (*Partitioning, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.AutoMap(w.dag, est, w.standardEngines())
+	part, err := core.AutoMap(w.dag, est, w.standardEngines())
+	if err != nil {
+		return nil, err
+	}
+	w.recordSearch(est, nil)
+	return part, nil
 }
 
 // PlanFor partitions the workflow for one explicitly chosen back-end.
@@ -327,7 +407,51 @@ func (w *Workflow) PlanFor(engine string) (*Partitioning, error) {
 	if err != nil {
 		return nil, err
 	}
-	return core.MapTo(w.dag, est, eng)
+	part, err := core.MapTo(w.dag, est, eng)
+	if err != nil {
+		return nil, err
+	}
+	w.recordSearch(est, nil)
+	return part, nil
+}
+
+// recordSearch publishes the partition search's work — candidate fragments
+// scored versus memo-table hits — to the deployment metrics and, when
+// tracing, the search span.
+func (w *Workflow) recordSearch(est *core.Estimator, sp *obs.Span) {
+	explored, hits := est.SearchStats()
+	w.m.metrics.Counter("partition_candidates_explored_total").Add(explored)
+	w.m.metrics.Counter("partition_memo_hits_total").Add(hits)
+	sp.SetInt("candidates_explored", explored)
+	sp.SetInt("memo_hits", hits)
+}
+
+// planTraced runs the partition search under a "partition-search" span.
+// engine == "" auto-maps over every registered engine; otherwise the search
+// is restricted to the named back-end.
+func (w *Workflow) planTraced(rec *obs.Recorder, parent *obs.Span, engine string) (*Partitioning, error) {
+	sp := rec.StartSpan(parent, "partition-search", "pipeline")
+	defer sp.End()
+	est, err := w.estimator()
+	if err != nil {
+		return nil, err
+	}
+	var part *Partitioning
+	if engine == "" {
+		part, err = core.AutoMap(w.dag, est, w.standardEngines())
+	} else {
+		eng, ok := w.m.engines[engine]
+		if !ok {
+			return nil, fmt.Errorf("musketeer: unknown engine %q", engine)
+		}
+		part, err = core.MapTo(w.dag, est, eng)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sp.SetInt("jobs", int64(len(part.Jobs)))
+	w.recordSearch(est, sp)
+	return part, nil
 }
 
 // PlanUnmerged builds the per-operator (merging disabled) partitioning for
@@ -370,6 +494,12 @@ type Result struct {
 	// loop temporaries live under it. Workflow outputs are additionally
 	// published to the deployment root for ReadOutput.
 	Namespace string
+	// Flight is the execution's span recorder — nil unless the deployment
+	// was built WithTracing. Export with Flight.WriteChromeTrace.
+	Flight *FlightRecorder
+	// Accuracy compares the planner's predicted per-job costs and critical
+	// path against what this execution measured.
+	Accuracy *WorkflowAccuracy
 }
 
 // Run executes a previously computed partitioning with no cancellation
@@ -386,7 +516,17 @@ func (w *Workflow) Run(part *Partitioning) (*Result, error) {
 // sink relations are published back to the deployment root on success.
 // Cancelling ctx aborts in-flight jobs and skips queued ones.
 func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, error) {
+	rec := w.m.startRun()
+	root := rec.StartSpan(nil, "workflow", "pipeline")
+	defer root.End()
+	return w.runSession(ctx, part, rec, root)
+}
+
+// runSession executes a partitioning inside a fresh DFS session namespace
+// beneath an (optional) workflow root span.
+func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.Recorder, root *obs.Span) (*Result, error) {
 	ns := fmt.Sprintf("__run/%d", w.m.runSeq.Add(1))
+	root.SetStr("namespace", ns)
 	for _, op := range w.dag.Ops {
 		if op.Type != ir.OpInput {
 			continue
@@ -397,13 +537,18 @@ func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, err
 		}
 	}
 	r := &core.Runner{
-		Ctx:     engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Faults: w.m.faults},
-		History: w.m.history,
-		Mode:    w.Mode,
-		Sched:   w.m.sched,
+		Ctx:      engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Faults: w.m.faults},
+		History:  w.m.history,
+		Mode:     w.Mode,
+		Sched:    w.m.sched,
+		Rec:      rec,
+		Span:     root,
+		Metrics:  w.m.metrics,
+		Accuracy: w.m.accuracy,
 	}
 	res, err := r.ExecuteCtx(ctx, w.dag, part)
 	if err != nil {
+		w.m.metrics.Counter("workflows_failed_total").Add(1)
 		return nil, err
 	}
 	for _, sink := range w.dag.Sinks() {
@@ -411,6 +556,7 @@ func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, err
 			return nil, fmt.Errorf("musketeer: publishing output %q: %w", sink.Out, err)
 		}
 	}
+	w.m.metrics.Counter("workflows_completed_total").Add(1)
 	return &Result{
 		Makespan:     res.Makespan,
 		SumJobTime:   res.SumJobTime,
@@ -418,6 +564,8 @@ func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, err
 		OOM:          res.OOM,
 		Partitioning: part,
 		Namespace:    ns,
+		Flight:       rec,
+		Accuracy:     res.Accuracy,
 	}, nil
 }
 
@@ -428,12 +576,7 @@ func (w *Workflow) Execute() (*Result, error) {
 
 // ExecuteCtx optimizes, auto-plans and runs the workflow under ctx.
 func (w *Workflow) ExecuteCtx(ctx context.Context) (*Result, error) {
-	w.Optimize()
-	part, err := w.Plan()
-	if err != nil {
-		return nil, err
-	}
-	return w.RunCtx(ctx, part)
+	return w.executeTraced(ctx, "")
 }
 
 // ExecuteOn optimizes, plans for one engine, and runs.
@@ -443,12 +586,30 @@ func (w *Workflow) ExecuteOn(engine string) (*Result, error) {
 
 // ExecuteOnCtx optimizes, plans for one engine, and runs under ctx.
 func (w *Workflow) ExecuteOnCtx(ctx context.Context, engine string) (*Result, error) {
-	w.Optimize()
-	part, err := w.PlanFor(engine)
+	return w.executeTraced(ctx, engine)
+}
+
+// executeTraced is the full traced pipeline: compile (replayed from the
+// front-end's measured translation time), optimize, partition-search, then
+// the session run. engine == "" auto-maps.
+func (w *Workflow) executeTraced(ctx context.Context, engine string) (*Result, error) {
+	rec := w.m.startRun()
+	root := rec.StartSpan(nil, "workflow", "pipeline")
+	defer root.End()
+	// Compilation happened before this recorder existed; record it as a
+	// zero-width structural span carrying the measured wall time.
+	csp := rec.StartSpan(root, "compile", "pipeline")
+	csp.SetFloat("wall_ms", w.compileWall.Seconds()*1e3)
+	csp.End()
+	osp := rec.StartSpan(root, "optimize", "pipeline")
+	n := w.Optimize()
+	osp.SetInt("rewrites", int64(n))
+	osp.End()
+	part, err := w.planTraced(rec, root, engine)
 	if err != nil {
 		return nil, err
 	}
-	return w.RunCtx(ctx, part)
+	return w.runSession(ctx, part, rec, root)
 }
 
 // Explain renders the partitioning with the cost model's reasoning: per

@@ -1,0 +1,197 @@
+package musketeer
+
+// Flight-recorder integration tests: a golden Chrome trace for a canonical
+// two-engine workflow (structure-only — ZeroTimes strips wall-clock and
+// simulated timings so the bytes are reproducible), and a -race stress test
+// of concurrent traced executions sharing one deployment's metrics registry
+// and accuracy log. Regenerate the golden with
+//
+//	go test -run TestTraceGolden -update .
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"musketeer/internal/core"
+	"musketeer/internal/relation"
+	"musketeer/internal/sched"
+	"musketeer/internal/workloads"
+)
+
+// stageTwoEngine stages the §6.3 cross-community workflow and forces its
+// iterative fragment onto metis with the batch phase on hadoop — the
+// paper's fixed hadoop+metis combination, and the canonical case where one
+// trace shows two engines' phases side by side.
+func stageTwoEngine(t *testing.T, m *Musketeer) (*Workflow, *Partitioning) {
+	t.Helper()
+	// Same seed and mean degree: the two communities share every edge, so
+	// the intersection (and the PageRank over it) is non-trivial.
+	a := workloads.GenerateGraph("a", 400_000, 2_000_000, 40, 7)
+	b := workloads.GenerateGraph("b", 500_000, 2_500_000, 40, 7)
+	wl := workloads.CrossCommunityPageRank(a, b, 3)
+	if err := wl.Stage(m.fs); err != nil {
+		t.Fatal(err)
+	}
+	dag, err := wl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := m.FromDAG(dag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf.Optimize()
+	est, err := wf.estimator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hadoop, metis := m.engines["hadoop"], m.engines["metis"]
+	part, err := core.MapTo(dag, est, hadoop)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced := false
+	for i := range part.Jobs {
+		frag := part.Jobs[i].Frag
+		if frag.While() != nil && metis.ValidFragment(frag) == nil {
+			part.Jobs[i].Engine = metis
+			part.Jobs[i].Cost = est.FragmentCost(frag, metis)
+			forced = true
+		}
+	}
+	if !forced {
+		t.Fatal("no WHILE fragment accepted metis; the workflow is not two-engine")
+	}
+	return wf, part
+}
+
+// TestTraceGolden pins the span tree of the two-engine workflow: one
+// workflow root, analyze and schedule pipeline spans, a job span per
+// fragment (hadoop batch jobs and the metis WHILE job), per-iteration
+// WHILE spans with body-job children, and pull/process/push engine phases
+// under every attempt.
+func TestTraceGolden(t *testing.T) {
+	m := New(WithTracing())
+	wf, part := stageTwoEngine(t, m)
+	res, err := wf.Run(part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flight == nil {
+		t.Fatal("WithTracing execution returned no flight recorder")
+	}
+
+	var buf bytes.Buffer
+	if err := res.Flight.WriteChromeTrace(&buf, TraceOptions{ZeroTimes: true}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	got := buf.String()
+	path := filepath.Join("testdata", "trace", "crosscommunity.golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test -run TestTraceGolden -update .` to create it)", err)
+	}
+	if want := string(wantBytes); got != want {
+		t.Errorf("trace structure changed.\n--- want\n%s--- got\n%s", want, got)
+	}
+}
+
+// stressCatalog stages a small join workload for the concurrency stress
+// test and returns its Hive catalog.
+func stressCatalog(t *testing.T, m *Musketeer) Catalog {
+	t.Helper()
+	props := NewRelation("properties", NewSchema("id:int", "street:string", "town:string"))
+	prices := NewRelation("prices", NewSchema("id:int", "price:float"))
+	for i := int64(0); i < 500; i++ {
+		props.MustAppend(relation.Row{relation.Int(i), relation.Str("mill rd"), relation.Str("cam")})
+		prices.MustAppend(relation.Row{relation.Int(i), relation.Float(float64(100 + i))})
+	}
+	if err := m.WriteInput("in/properties", props); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteInput("in/prices", prices); err != nil {
+		t.Fatal(err)
+	}
+	return Catalog{
+		"properties": {Path: "in/properties", Schema: props.Schema},
+		"prices":     {Path: "in/prices", Schema: prices.Schema},
+	}
+}
+
+const stressHive = `
+SELECT id, street, town FROM properties AS locs;
+locs JOIN prices ON locs.id = prices.id AS id_price;
+SELECT street, MAX(price) AS max_price FROM id_price GROUP BY street AS street_price;
+`
+
+// TestTracedExecutionsConcurrent drives concurrent traced executions into
+// one shared deployment — one metrics registry, one accuracy log, one
+// scheduler. Meaningful under -race (ci.sh runs the suite with it): the
+// per-run recorders must stay independent while the shared instruments
+// absorb all runs.
+func TestTracedExecutionsConcurrent(t *testing.T) {
+	const runs = 8
+	m := New(WithTracing())
+	cat := stressCatalog(t, m)
+	wf, err := m.CompileHive(stressHive, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	results := make([]*Result, runs)
+	errs := make([]error, runs)
+	sched.ForEach(runs, runs, func(i int) {
+		results[i], errs[i] = wf.Execute()
+	})
+
+	seen := map[*FlightRecorder]bool{}
+	for i := 0; i < runs; i++ {
+		if errs[i] != nil {
+			t.Fatalf("run %d: %v", i, errs[i])
+		}
+		res := results[i]
+		if res.Flight == nil || res.Flight.Len() == 0 {
+			t.Fatalf("run %d: missing flight recorder", i)
+		}
+		if seen[res.Flight] {
+			t.Fatalf("run %d: flight recorder shared between executions", i)
+		}
+		seen[res.Flight] = true
+		if res.Accuracy == nil || len(res.Accuracy.Jobs) == 0 {
+			t.Fatalf("run %d: missing accuracy record", i)
+		}
+	}
+
+	if got := m.Metrics().Counter("workflows_completed_total").Value(); got != runs {
+		t.Errorf("workflows_completed_total = %d, want %d", got, runs)
+	}
+	if got := len(m.Accuracy().Workflows()); got != runs {
+		t.Errorf("accuracy log has %d workflows, want %d", got, runs)
+	}
+	sum := m.Accuracy().Summary()
+	if sum.Workflows != runs || sum.Jobs == 0 {
+		t.Errorf("accuracy summary = %+v, want %d workflows with jobs", sum, runs)
+	}
+}
