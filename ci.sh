@@ -12,33 +12,58 @@
 # concurrency goes through internal/sched) and PR 4's observability layer
 # (span-hygiene: every locally held StartSpan/Begin result must be ended in
 # the same function); the analyzer's golden tests run as part of the normal
-# test suite. Two PR 4 gates run explicitly so a regression names itself:
-# the golden Chrome-trace test (the two-engine workflow's span tree is
-# byte-stable) and the disabled-path allocation guard (tracing off must add
-# zero allocations to the instrumented hot paths).
+# test suite.
+#
+# Named gates (each one a stage so a regression names itself):
+#   golden trace      — the two-engine workflow's span tree is byte-stable
+#   chaos golden      — a seeded fault plan yields a byte-stable trace of
+#                       retries, checkpoints, recoveries and speculation
+#   alloc guard       — tracing off adds zero allocations to hot paths
+#   flaky gate        — the concurrency/scheduler/chaos suites 3x back to
+#                       back: a test that only fails sometimes fails here
+#   benchmark gate    — fresh kernel benchmarks and a fresh concurrency run
+#   (mkbenchgate)       vs the committed BENCH_*.json baselines (25%)
+#
+# Every stage is timed; the summary prints per-stage wall seconds.
 set -eu
 
 cd "$(dirname "$0")"
 
-echo "== go vet =="
-go vet ./...
+STAGES=""
+stage() {
+    name="$1"; shift
+    echo "== $name =="
+    start=$(date +%s)
+    "$@"
+    secs=$(( $(date +%s) - start ))
+    STAGES="$STAGES$(printf '%5ss  %s' "$secs" "$name")\n"
+}
 
-echo "== mklint =="
-go run ./cmd/mklint ./...
+bench_gate() {
+    # -count=3: mkbenchgate keeps each benchmark's best run, so a loaded CI
+    # host doesn't trip the threshold while a real slowdown (all three runs
+    # slow) still does.
+    go test -bench 'BenchmarkKernel|BenchmarkRowKey|BenchmarkSortRows|BenchmarkEncodeDecode|BenchmarkPartitionExhaustive' \
+        -benchmem -run '^$' -count=3 \
+        ./internal/exec ./internal/relation ./internal/bench > /tmp/mk_bench_fresh.txt
+    go run ./cmd/mkbench -concurrency 2 -concurrency-json /tmp/mk_conc_fresh.json > /dev/null
+    go run ./cmd/mkbenchgate \
+        -kernels BENCH_kernels.json -bench /tmp/mk_bench_fresh.txt \
+        -concurrency BENCH_concurrency.json -fresh-concurrency /tmp/mk_conc_fresh.json
+}
 
-echo "== go build =="
-go build ./...
+stage "go vet"                     go vet ./...
+stage "mklint"                     go run ./cmd/mklint ./...
+stage "go build"                   go build ./...
+stage "go test"                    go test ./...
+stage "golden trace"               go test -count=1 -run 'TestTraceGolden' .
+stage "chaos golden"               go test -count=1 -run 'TestChaosGolden' .
+stage "obs disabled-path alloc guard" go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
+stage "flaky gate (3x concurrency/sched/chaos)" \
+    go test -short -count=3 -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
+stage "benchmark regression gate"  bench_gate
+stage "go test -race"              go test -race ./...
 
-echo "== go test =="
-go test ./...
-
-echo "== golden trace =="
-go test -count=1 -run 'TestTraceGolden' .
-
-echo "== obs disabled-path alloc guard =="
-go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
-
-echo "== go test -race =="
-go test -race ./...
-
+echo "== stage times =="
+printf "$STAGES"
 echo "CI OK"

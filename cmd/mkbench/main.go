@@ -24,6 +24,9 @@ func main() {
 	concurrencyJSON := flag.String("concurrency-json", "", "write the concurrency benchmark report to this JSON file (e.g. BENCH_concurrency.json)")
 	accuracy := flag.Bool("accuracy", false, "run the estimator-accuracy benchmark (predicted vs simulated makespan per workflow)")
 	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy benchmark report to this JSON file (e.g. BENCH_accuracy.json)")
+	chaosBench := flag.Bool("chaos", false, "run the chaos benchmark (makespan inflation vs fault rate per engine)")
+	chaosSeed := flag.Int64("chaos-seed", 7, "seed for the chaos benchmark's fault plans")
+	chaosJSON := flag.String("chaos-json", "", "write the chaos benchmark report to this JSON file (e.g. BENCH_chaos.json)")
 	flag.Parse()
 
 	if *list {
@@ -72,6 +75,26 @@ func main() {
 		if *accuracyJSON != "" {
 			if err := bench.WriteAccuracyJSON(*accuracyJSON, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "accuracy:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *chaosBench || *chaosJSON != "" {
+		rep, err := bench.RunChaos(*chaosSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "chaos:", err)
+			os.Exit(1)
+		}
+		for _, r := range rep.Runs {
+			fmt.Printf("chaos %-8s %-12s %5.0f faults/h  %8.1fs  %+6.1f%%  (%df %dckpt %dstrag %ddfs %dretry %dspec)\n",
+				r.Engine, r.Mechanism, r.FaultsPerHr, r.MakespanS, r.InflationPct,
+				r.Failures, r.Checkpoints, r.Stragglers, r.DFSRetries, r.JobRetries, r.Speculated)
+		}
+		if *chaosJSON != "" {
+			if err := bench.WriteChaosJSON(*chaosJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "chaos:", err)
 				os.Exit(1)
 			}
 		}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"musketeer/internal/bench"
+)
+
+// Measurement is one benchmark's fresh or baseline numbers.
+type Measurement struct {
+	NsOp      float64
+	AllocsOp  float64
+	HasAllocs bool
+}
+
+// Regression is one benchmark metric that exceeded its allowance.
+type Regression struct {
+	Name     string
+	Metric   string // "ns/op", "allocs/op" or "speedup"
+	Fresh    float64
+	Baseline float64
+	Allowed  float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("REGRESSION %s %s: fresh %.4g vs baseline %.4g (allowed %.4g)",
+		r.Name, r.Metric, r.Fresh, r.Baseline, r.Allowed)
+}
+
+// gomaxprocsSuffix is the `-N` GOMAXPROCS suffix go test appends to
+// benchmark names; stripped so fresh runs compare across core counts.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// ParseGoBench reads `go test -bench -benchmem` output and returns the
+// measurements keyed by benchmark name (GOMAXPROCS suffix stripped). With
+// -count=N the best measurement wins: gating on the minimum filters the
+// scheduling noise of a loaded CI host, while a real regression slows every
+// repetition.
+func ParseGoBench(r io.Reader) (map[string]Measurement, error) {
+	out := map[string]Measurement{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		m := Measurement{}
+		seen := false
+		for i := 2; i < len(fields); i++ {
+			v, err := strconv.ParseFloat(fields[i-1], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i] {
+			case "ns/op":
+				m.NsOp, seen = v, true
+			case "allocs/op":
+				m.AllocsOp, m.HasAllocs = v, true
+			}
+		}
+		if !seen {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		if prev, ok := out[name]; ok {
+			if prev.NsOp < m.NsOp {
+				m.NsOp = prev.NsOp
+			}
+			if prev.HasAllocs && prev.AllocsOp < m.AllocsOp {
+				m.AllocsOp = prev.AllocsOp
+			}
+			m.HasAllocs = m.HasAllocs || prev.HasAllocs
+		}
+		out[name] = m
+	}
+	return out, sc.Err()
+}
+
+// LoadKernelBaseline walks a BENCH_kernels.json-shaped file: any nested
+// object keyed by a Benchmark* name whose value carries an "after"
+// measurement becomes a baseline entry. Non-benchmark entries (notes,
+// wall-clock figures) are ignored.
+type afterEntry struct {
+	After *struct {
+		NsOp     float64 `json:"ns_op"`
+		AllocsOp float64 `json:"allocs_op"`
+	} `json:"after"`
+}
+
+func LoadKernelBaseline(path string) (map[string]Measurement, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var top map[string]json.RawMessage
+	if err := json.Unmarshal(data, &top); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := map[string]Measurement{}
+	for _, raw := range top {
+		var group map[string]json.RawMessage
+		if json.Unmarshal(raw, &group) != nil {
+			continue
+		}
+		for name, entry := range group {
+			if !strings.HasPrefix(name, "Benchmark") {
+				continue
+			}
+			var e afterEntry
+			if json.Unmarshal(entry, &e) != nil || e.After == nil {
+				continue
+			}
+			out[name] = Measurement{NsOp: e.After.NsOp, AllocsOp: e.After.AllocsOp, HasAllocs: true}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no Benchmark* entries with an \"after\" measurement", path)
+	}
+	return out, nil
+}
+
+// CompareKernels checks every baseline benchmark present in the fresh run.
+// threshold is fractional (0.25 = 25%). Time may drift up to the threshold;
+// allocations get the same relative allowance plus half an allocation, so
+// a zero-alloc baseline fails on the first fresh allocation.
+func CompareKernels(fresh, baseline map[string]Measurement, threshold float64) (regs []Regression, checked, missing int) {
+	for name, base := range baseline {
+		f, ok := fresh[name]
+		if !ok {
+			missing++
+			continue
+		}
+		checked++
+		if allowed := base.NsOp * (1 + threshold); f.NsOp > allowed {
+			regs = append(regs, Regression{Name: name, Metric: "ns/op", Fresh: f.NsOp, Baseline: base.NsOp, Allowed: allowed})
+		}
+		if base.HasAllocs && f.HasAllocs {
+			if allowed := base.AllocsOp*(1+threshold) + 0.5; f.AllocsOp > allowed {
+				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Fresh: f.AllocsOp, Baseline: base.AllocsOp, Allowed: allowed})
+			}
+		}
+	}
+	return regs, checked, missing
+}
+
+// CompareConcurrency gates the concurrent-vs-serial speedup: wall-clock
+// throughput is machine-dependent, but the speedup ratio must not fall more
+// than the threshold below the committed baseline.
+func CompareConcurrency(fresh, baseline *bench.ConcurrencyReport, threshold float64) []Regression {
+	allowed := baseline.Speedup * (1 - threshold)
+	if fresh.Speedup < allowed {
+		return []Regression{{
+			Name: "concurrency", Metric: "speedup",
+			Fresh: fresh.Speedup, Baseline: baseline.Speedup, Allowed: allowed,
+		}}
+	}
+	return nil
+}
+
+func loadConcurrencyReport(path string) (*bench.ConcurrencyReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.ConcurrencyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"musketeer/internal/bench"
+)
+
+const benchOutput = `goos: linux
+goarch: amd64
+pkg: musketeer/internal/exec
+BenchmarkKernelSelect-4     	     762	   1523563 ns/op	  433185 B/op	      29 allocs/op
+BenchmarkKernelProject      	     744	   1604365 ns/op	  816512 B/op	       7 allocs/op
+BenchmarkKernelHashJoin-16  	      26	  45058391 ns/op	31676430 B/op	   21852 allocs/op
+BenchmarkRowKey/hashed-4    	   50316	     23743 ns/op	       0 B/op	       0 allocs/op
+PASS
+`
+
+func TestParseGoBenchStripsGOMAXPROCS(t *testing.T) {
+	m, err := ParseGoBench(strings.NewReader(benchOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]Measurement{
+		"BenchmarkKernelSelect":   {NsOp: 1523563, AllocsOp: 29, HasAllocs: true},
+		"BenchmarkKernelProject":  {NsOp: 1604365, AllocsOp: 7, HasAllocs: true},
+		"BenchmarkKernelHashJoin": {NsOp: 45058391, AllocsOp: 21852, HasAllocs: true},
+		"BenchmarkRowKey/hashed":  {NsOp: 23743, AllocsOp: 0, HasAllocs: true},
+	}
+	if len(m) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
+	}
+	for name, w := range want {
+		if m[name] != w {
+			t.Errorf("%s = %+v, want %+v", name, m[name], w)
+		}
+	}
+}
+
+func TestParseGoBenchKeepsBestOfRepeatedRuns(t *testing.T) {
+	m, err := ParseGoBench(strings.NewReader(`
+BenchmarkX-4   100   2000 ns/op   64 B/op   9 allocs/op
+BenchmarkX-4   100   1500 ns/op   64 B/op   8 allocs/op
+BenchmarkX-4   100   1800 ns/op   64 B/op   9 allocs/op
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m["BenchmarkX"]; got != (Measurement{NsOp: 1500, AllocsOp: 8, HasAllocs: true}) {
+		t.Errorf("BenchmarkX = %+v, want best of 3 runs", got)
+	}
+}
+
+func TestLoadKernelBaselineFromCommittedArtifact(t *testing.T) {
+	base, err := LoadKernelBaseline(filepath.Join("..", "..", "BENCH_kernels.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := base["BenchmarkKernelSelect"]
+	if !ok {
+		t.Fatalf("BenchmarkKernelSelect missing from baseline: %v", base)
+	}
+	if sel.NsOp <= 0 || !sel.HasAllocs {
+		t.Errorf("implausible baseline %+v", sel)
+	}
+	// Groups other than "kernels" (row_key, sort, codec, partitioning) must
+	// be picked up too, and non-benchmark entries skipped.
+	if _, ok := base["BenchmarkSortRows/parallel"]; !ok {
+		t.Error("nested group entry BenchmarkSortRows/parallel not loaded")
+	}
+	for name := range base {
+		if !strings.HasPrefix(name, "Benchmark") {
+			t.Errorf("non-benchmark baseline entry %q", name)
+		}
+	}
+}
+
+// TestGateFailsOnSlowedBenchmark: a fresh run with one benchmark 2x slower
+// than its committed baseline must be reported as a regression by name; the
+// untouched benchmarks must not be.
+func TestGateFailsOnSlowedBenchmark(t *testing.T) {
+	baseline, err := LoadKernelBaseline(filepath.Join("..", "..", "BENCH_kernels.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := map[string]Measurement{}
+	for name, m := range baseline {
+		fresh[name] = m
+	}
+	slowed := baseline["BenchmarkKernelAgg"]
+	slowed.NsOp *= 2
+	fresh["BenchmarkKernelAgg"] = slowed
+
+	regs, checked, missing := CompareKernels(fresh, baseline, 0.25)
+	if checked != len(baseline) || missing != 0 {
+		t.Fatalf("checked %d missing %d, want %d/0", checked, missing, len(baseline))
+	}
+	if len(regs) != 1 {
+		t.Fatalf("regressions = %v, want exactly the slowed benchmark", regs)
+	}
+	if regs[0].Name != "BenchmarkKernelAgg" || regs[0].Metric != "ns/op" {
+		t.Errorf("regression = %+v, want BenchmarkKernelAgg ns/op", regs[0])
+	}
+	if regs[0].Allowed != slowed.NsOp/2*1.25 {
+		t.Errorf("allowed = %v, want baseline x 1.25", regs[0].Allowed)
+	}
+}
+
+func TestGateAllocRegressionAndZeroAllocGuard(t *testing.T) {
+	baseline := map[string]Measurement{
+		"BenchmarkZero": {NsOp: 100, AllocsOp: 0, HasAllocs: true},
+		"BenchmarkFew":  {NsOp: 100, AllocsOp: 8, HasAllocs: true},
+	}
+	fresh := map[string]Measurement{
+		"BenchmarkZero": {NsOp: 100, AllocsOp: 1, HasAllocs: true}, // zero-alloc path now allocates
+		"BenchmarkFew":  {NsOp: 100, AllocsOp: 10, HasAllocs: true}, // within 25%+0.5
+	}
+	regs, _, _ := CompareKernels(fresh, baseline, 0.25)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkZero" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want only BenchmarkZero allocs/op", regs)
+	}
+}
+
+func TestGateToleratesNoiseWithinThreshold(t *testing.T) {
+	baseline := map[string]Measurement{"BenchmarkX": {NsOp: 1000, AllocsOp: 100, HasAllocs: true}}
+	fresh := map[string]Measurement{"BenchmarkX": {NsOp: 1240, AllocsOp: 120, HasAllocs: true}}
+	if regs, _, _ := CompareKernels(fresh, baseline, 0.25); len(regs) != 0 {
+		t.Errorf("within-threshold drift flagged: %v", regs)
+	}
+}
+
+func TestCompareConcurrencySpeedup(t *testing.T) {
+	base := &bench.ConcurrencyReport{Speedup: 1.14}
+	if regs := CompareConcurrency(&bench.ConcurrencyReport{Speedup: 1.02}, base, 0.25); len(regs) != 0 {
+		t.Errorf("within-threshold speedup flagged: %v", regs)
+	}
+	regs := CompareConcurrency(&bench.ConcurrencyReport{Speedup: 0.70}, base, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "speedup" {
+		t.Errorf("collapsed speedup not flagged: %v", regs)
+	}
+}
+
+func TestLoadConcurrencyReportFromCommittedArtifact(t *testing.T) {
+	rep, err := loadConcurrencyReport(filepath.Join("..", "..", "BENCH_concurrency.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup = %v, want > 0", rep.Speedup)
+	}
+}
+
+func TestLoadKernelBaselineRejectsEmpty(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(path, []byte(`{"description": "x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadKernelBaseline(path); err == nil {
+		t.Error("baseline with no benchmarks accepted")
+	}
+}

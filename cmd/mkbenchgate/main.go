@@ -1,0 +1,110 @@
+// Command mkbenchgate is the CI benchmark-regression gate: it compares a
+// fresh benchmark run against the committed baseline artifacts and exits
+// non-zero naming every benchmark that regressed beyond the threshold.
+//
+// Kernel gate — fresh `go test -bench` output vs BENCH_kernels.json's
+// "after" measurements (time within threshold, allocations within threshold
+// plus half an alloc so zero-alloc paths stay zero-alloc):
+//
+//	go test -bench 'Kernel|RowKey|SortRows|EncodeDecode' -benchmem \
+//	    ./internal/exec ./internal/relation | mkbenchgate -kernels BENCH_kernels.json -bench -
+//
+// Concurrency gate — fresh `mkbench -concurrency-json` report vs
+// BENCH_concurrency.json (the concurrent-vs-serial speedup ratio must not
+// fall more than the threshold below the baseline):
+//
+//	mkbench -concurrency 2 -concurrency-json /tmp/fresh.json
+//	mkbenchgate -concurrency BENCH_concurrency.json -fresh-concurrency /tmp/fresh.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+func main() {
+	kernels := flag.String("kernels", "", "committed kernel baseline (BENCH_kernels.json)")
+	benchOut := flag.String("bench", "", `fresh "go test -bench -benchmem" output file ("-" = stdin)`)
+	concurrency := flag.String("concurrency", "", "committed concurrency baseline (BENCH_concurrency.json)")
+	freshConcurrency := flag.String("fresh-concurrency", "", "fresh concurrency report (mkbench -concurrency-json)")
+	threshold := flag.Float64("threshold", 25, "allowed regression in percent")
+	flag.Parse()
+
+	th := *threshold / 100
+	ran := false
+	var regs []Regression
+
+	if *kernels != "" || *benchOut != "" {
+		if *kernels == "" || *benchOut == "" {
+			fail("kernel gate needs both -kernels and -bench")
+		}
+		baseline, err := LoadKernelBaseline(*kernels)
+		if err != nil {
+			fail("%v", err)
+		}
+		var in io.Reader = os.Stdin
+		if *benchOut != "-" {
+			f, err := os.Open(*benchOut)
+			if err != nil {
+				fail("%v", err)
+			}
+			defer f.Close()
+			in = f
+		}
+		fresh, err := ParseGoBench(in)
+		if err != nil {
+			fail("parse bench output: %v", err)
+		}
+		if len(fresh) == 0 {
+			fail("no benchmark lines in %s", *benchOut)
+		}
+		kregs, checked, missing := CompareKernels(fresh, baseline, th)
+		fmt.Printf("kernel gate: %d benchmark(s) checked against %s (%d baseline entr%s not in this run), threshold %.0f%%\n",
+			checked, *kernels, missing, plural(missing, "y", "ies"), *threshold)
+		regs = append(regs, kregs...)
+		ran = true
+	}
+
+	if *concurrency != "" || *freshConcurrency != "" {
+		if *concurrency == "" || *freshConcurrency == "" {
+			fail("concurrency gate needs both -concurrency and -fresh-concurrency")
+		}
+		base, err := loadConcurrencyReport(*concurrency)
+		if err != nil {
+			fail("%v", err)
+		}
+		fresh, err := loadConcurrencyReport(*freshConcurrency)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("concurrency gate: fresh speedup %.2fx vs baseline %.2fx, threshold %.0f%%\n",
+			fresh.Speedup, base.Speedup, *threshold)
+		regs = append(regs, CompareConcurrency(fresh, base, th)...)
+		ran = true
+	}
+
+	if !ran {
+		fail("nothing to gate: pass -kernels/-bench and/or -concurrency/-fresh-concurrency")
+	}
+	if len(regs) > 0 {
+		for _, r := range regs {
+			fmt.Fprintln(os.Stderr, r)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchmark gate: ok")
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mkbenchgate: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -83,6 +83,8 @@ func run(name string, args []string, statsMode bool) int {
 	gasOutput := fs.String("gas-output", "result", "GAS front-end: output relation name")
 	historyPath := fs.String("history", "", "workflow-history file: loaded before planning, saved after the run (estimator accuracy is persisted alongside as <file>.accuracy.json)")
 	mtbf := fs.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
+	faultRate := fs.Float64("fault-rate", 0, "inject the full chaos plan (job crashes, worker faults, stragglers, DFS read failures) at this many expected faults per simulated hour")
+	chaosSeed := fs.Int64("chaos-seed", 7, "seed for the -fault-rate chaos plan (same seed = same faults)")
 	timeout := fs.Duration("timeout", 0, "wall-clock deadline for the execution, e.g. 30s (0 = none)")
 	maxConcurrent := fs.Int("max-concurrent", 0, "bound on concurrently running back-end jobs (0 = scheduler default)")
 	retries := fs.Int("retries", 0, "per-job retry budget for transiently failed jobs")
@@ -108,7 +110,9 @@ func run(name string, args []string, statsMode bool) int {
 		}
 		opts = append(opts, musketeer.WithHistory(h))
 	}
-	if *mtbf > 0 {
+	if *faultRate > 0 {
+		opts = append(opts, musketeer.WithChaos(musketeer.DefaultChaos(*chaosSeed, *faultRate)))
+	} else if *mtbf > 0 {
 		opts = append(opts, musketeer.WithFaults(*mtbf, 1))
 	}
 	if *maxConcurrent > 0 {

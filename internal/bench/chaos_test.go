@@ -1,0 +1,45 @@
+package bench
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunChaosDeterministicAndMonotone: the chaos benchmark must be a pure
+// function of its seed (two runs agree exactly), its fault-free rows must
+// anchor inflation at zero, and injected faults can only lengthen a run.
+func TestRunChaosDeterministicAndMonotone(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault-rate sweep")
+	}
+	a, err := RunChaos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Runs, b.Runs) {
+		t.Fatal("same seed produced different runs")
+	}
+	if len(a.Runs) != len(chaosRates)*len(chaosEngines) {
+		t.Fatalf("%d runs, want %d", len(a.Runs), len(chaosRates)*len(chaosEngines))
+	}
+	inflated := false
+	for _, r := range a.Runs {
+		if r.FaultsPerHr == 0 && r.InflationPct != 0 {
+			t.Errorf("%s fault-free row has inflation %v%%", r.Engine, r.InflationPct)
+		}
+		if r.InflationPct < 0 {
+			t.Errorf("%s @%g/h shrank by %v%% — faults can only add cost",
+				r.Engine, r.FaultsPerHr, r.InflationPct)
+		}
+		if r.InflationPct > 0 {
+			inflated = true
+		}
+	}
+	if !inflated {
+		t.Error("no run inflated: the plan injected nothing")
+	}
+}

@@ -16,12 +16,14 @@ import (
 	"math"
 	"strings"
 
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/core"
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
 	"musketeer/internal/ir"
 	"musketeer/internal/obs"
+	"musketeer/internal/sched"
 	"musketeer/internal/workloads"
 )
 
@@ -92,6 +94,11 @@ type RunResult struct {
 	OOM        bool
 	Failures   int
 	Engines    []string
+	// Checkpoints / Stragglers / DFSRetries aggregate the chaos plan's
+	// injected faults across the run's jobs.
+	Checkpoints int
+	Stragglers  int
+	DFSRetries  int
 	// Accuracy is the execution's predicted-vs-measured makespan record.
 	Accuracy *obs.WorkflowAccuracy
 }
@@ -114,12 +121,18 @@ func pct(x float64) string { return fmt.Sprintf("%+.0f%%", 100*x) }
 
 // session stages a workload onto a fresh deployment.
 type session struct {
-	fs     *dfs.DFS
-	c      *cluster.Cluster
-	w      *workloads.Workload
-	h      *core.History
-	reg    map[string]*engines.Engine
-	faults *engines.FaultModel
+	fs  *dfs.DFS
+	c   *cluster.Cluster
+	w   *workloads.Workload
+	h   *core.History
+	reg map[string]*engines.Engine
+	// chaos, when set, injects the plan's faults into the run and adds the
+	// expected-recovery term to the planner's fragment scores.
+	chaos *chaos.Plan
+	// sched, when set, replaces the default scheduler (chaos runs need a
+	// retry budget and speculation); metrics, when set, collects counters.
+	sched   *sched.Scheduler
+	metrics *obs.Registry
 }
 
 func newSession(w *workloads.Workload, c *cluster.Cluster) (*session, error) {
@@ -142,11 +155,16 @@ func (s *session) execute(mode engines.PlanMode, strategy func(est *core.Estimat
 	if err != nil {
 		return nil, err
 	}
+	est.WithChaos(s.chaos)
 	part, err := strategy(est, dag)
 	if err != nil {
 		return nil, err
 	}
-	r := &core.Runner{Ctx: engines.RunContext{DFS: s.fs, Cluster: s.c, Faults: s.faults}, History: s.h, Mode: mode}
+	r := &core.Runner{
+		Ctx:     engines.RunContext{DFS: s.fs, Cluster: s.c, Chaos: s.chaos},
+		History: s.h, Mode: mode,
+		Sched: s.sched, Metrics: s.metrics,
+	}
 	res, err := r.Execute(dag, part)
 	if err != nil {
 		return nil, err
@@ -159,6 +177,11 @@ func (s *session) execute(mode engines.PlanMode, strategy func(est *core.Estimat
 	}
 	for _, jr := range res.Jobs {
 		out.Failures += jr.Failures
+		out.Checkpoints += jr.Checkpoints
+		out.DFSRetries += jr.DFSRetries
+		if jr.Straggler {
+			out.Stragglers++
+		}
 	}
 	return out, nil
 }

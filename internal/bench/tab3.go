@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/core"
 	"musketeer/internal/engines"
@@ -96,7 +97,7 @@ func runOnWithFaults(w *workloads.Workload, c *cluster.Cluster, engine string, m
 	if !ok {
 		return nil, fmt.Errorf("bench: unknown engine %q", engine)
 	}
-	s.faults = &engines.FaultModel{MTBFSeconds: mtbf, Seed: 11}
+	s.chaos = &chaos.Plan{MTBFSeconds: mtbf, Seed: 11}
 	return s.execute(engines.ModeOptimized, func(est *core.Estimator, dag *ir.DAG) (*core.Partitioning, error) {
 		return core.MapTo(dag, est, eng)
 	})

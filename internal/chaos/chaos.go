@@ -1,0 +1,213 @@
+// Package chaos is the execution stack's deterministic fault-injection
+// source. A Plan describes what goes wrong during a simulated execution —
+// whole-job crashes, per-task worker failures, slow nodes, DFS read
+// failures — and every draw is a pure hash of (seed, kind, job, attempt,
+// index). There is no shared generator state: draws are order-independent,
+// so concurrently scheduled jobs see exactly the same fates regardless of
+// goroutine interleaving, repeated runs with one seed are byte-identical,
+// and the package is trivially race-free. The package depends on nothing;
+// the engines layer maps the injected faults onto each back-end's recovery
+// mechanism (paper Table 3).
+package chaos
+
+import "fmt"
+
+// Plan is a seedable fault-injection plan. The zero value injects nothing;
+// a nil *Plan is valid everywhere and disables injection at zero cost.
+type Plan struct {
+	// Seed makes every draw reproducible. Two runs of the same workflow
+	// with the same seed produce identical faults, makespans, and traces.
+	Seed int64
+	// JobCrashProb is the probability an individual job attempt dies
+	// outright (driver/master loss) before producing output. Crashed
+	// attempts surface as transient errors for the scheduler to retry.
+	JobCrashProb float64
+	// MTBFSeconds is the cluster-wide mean simulated time between worker
+	// (task-level) failures. A job of duration d occupying n of N cluster
+	// nodes expects d·n/(N·MTBF) failures. Zero disables task faults.
+	MTBFSeconds float64
+	// SlowNodeProb is the probability a job attempt lands on a straggler
+	// node and runs SlowFactor times slower.
+	SlowNodeProb float64
+	// SlowFactor is the straggled attempt's duration multiplier
+	// (default 3).
+	SlowFactor float64
+	// DFSReadFailProb is the per-input probability that a block read fails
+	// mid-pull and is re-fetched from a replica, paying the transfer twice.
+	DFSReadFailProb float64
+	// CheckpointIntervalS is the checkpoint period for engines that recover
+	// by rollback (default: the engine profile's period, or 60 simulated
+	// seconds).
+	CheckpointIntervalS float64
+	// CheckpointCostS is the simulated cost of writing one checkpoint
+	// (default 1).
+	CheckpointCostS float64
+	// SpeculativeMultiple makes the scheduler launch a backup attempt when
+	// a job's duration exceeds this multiple of its predicted cost — the
+	// straggler-mitigation policy. First finisher wins; the loser's burn is
+	// accounted as waste. Zero disables speculation.
+	SpeculativeMultiple float64
+}
+
+// Default returns a plan exercising every injection point at the given
+// fault rate (expected worker failures per simulated hour across the
+// cluster): task faults via MTBF=3600/rate, with job-crash, straggler, and
+// DFS-read-failure probabilities scaled to the same rate, and speculative
+// backups at 1.5x predicted cost. rate <= 0 yields a seeded but quiet plan.
+func Default(seed int64, perHour float64) *Plan {
+	p := &Plan{Seed: seed, SpeculativeMultiple: 1.5}
+	if perHour <= 0 {
+		return p
+	}
+	p.MTBFSeconds = 3600 / perHour
+	scale := perHour / 60 // one fault a minute saturates the probabilities
+	if scale > 1 {
+		scale = 1
+	}
+	p.JobCrashProb = 0.2 * scale
+	p.SlowNodeProb = 0.25 * scale
+	p.DFSReadFailProb = 0.3 * scale
+	return p
+}
+
+// Enabled reports whether the plan injects anything at all.
+func (p *Plan) Enabled() bool {
+	return p != nil && (p.JobCrashProb > 0 || p.MTBFSeconds > 0 ||
+		p.SlowNodeProb > 0 || p.DFSReadFailProb > 0)
+}
+
+// drawKind namespaces the keyed draws so, e.g., a job's crash draw and its
+// straggler draw are independent.
+type drawKind uint64
+
+const (
+	drawJobCrash drawKind = iota + 1
+	drawTaskCount
+	drawTaskPoint
+	drawStraggle
+	drawRead
+)
+
+// mix folds one word into the hash with the splitmix64 finalizer — enough
+// avalanche that consecutive seeds, attempts, and indices produce
+// independent-looking uniform draws.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h += 0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// draw returns the uniform [0,1) variate keyed by (seed, kind, job,
+// attempt, index). Pure and allocation-free.
+func (p *Plan) draw(kind drawKind, job string, attempt, index int) float64 {
+	h := mix(uint64(p.Seed), uint64(kind))
+	for i := 0; i < len(job); i++ {
+		h = mix(h, uint64(job[i]))
+	}
+	h = mix(h, uint64(attempt)+1)
+	h = mix(h, uint64(index)+1)
+	return float64(h>>11) / (1 << 53)
+}
+
+// CrashesJob reports whether the (job, attempt) pair dies outright before
+// producing output. Deterministic per attempt — and varying across
+// attempts, so a retried job is not doomed to repeat the same death.
+func (p *Plan) CrashesJob(job string, attempt int) bool {
+	if p == nil || p.JobCrashProb <= 0 {
+		return false
+	}
+	return p.draw(drawJobCrash, job, attempt, 0) < p.JobCrashProb
+}
+
+// FailsRead reports whether the attempt's input-th DFS read fails mid-pull
+// and must be re-fetched from a replica.
+func (p *Plan) FailsRead(job string, attempt, input int) bool {
+	if p == nil || p.DFSReadFailProb <= 0 {
+		return false
+	}
+	return p.draw(drawRead, job, attempt, input) < p.DFSReadFailProb
+}
+
+// Straggles reports whether the attempt landed on a slow node.
+func (p *Plan) Straggles(job string, attempt int) bool {
+	if p == nil || p.SlowNodeProb <= 0 {
+		return false
+	}
+	return p.draw(drawStraggle, job, attempt, 0) < p.SlowNodeProb
+}
+
+// SlowBy returns the straggler duration multiplier (default 3).
+func (p *Plan) SlowBy() float64 {
+	if p == nil || p.SlowFactor <= 1 {
+		return 3
+	}
+	return p.SlowFactor
+}
+
+// TaskFailures converts the attempt's expected failure count (its node-time
+// exposure divided by the MTBF) into a concrete count: the integer part
+// plus a keyed Bernoulli draw on the fraction.
+func (p *Plan) TaskFailures(job string, attempt int, expected float64) int {
+	if p == nil || p.MTBFSeconds <= 0 || expected <= 0 {
+		return 0
+	}
+	n := int(expected)
+	if p.draw(drawTaskCount, job, attempt, 0) < expected-float64(n) {
+		n++
+	}
+	return n
+}
+
+// FailurePoint returns where (as a fraction of the job's duration) the
+// attempt's i-th task failure strikes. The draw is keyed by (job, attempt,
+// i) only, so every engine sees the same injected fault at the same point —
+// which is what makes recovery-cost comparisons across mechanisms fair.
+func (p *Plan) FailurePoint(job string, attempt, i int) float64 {
+	if p == nil {
+		return 0
+	}
+	return p.draw(drawTaskPoint, job, attempt, i)
+}
+
+// Interval returns the checkpoint period, defaulting engineDefault (an
+// engine profile's period) and then 60 simulated seconds.
+func (p *Plan) Interval(engineDefault float64) float64 {
+	if p != nil && p.CheckpointIntervalS > 0 {
+		return p.CheckpointIntervalS
+	}
+	if engineDefault > 0 {
+		return engineDefault
+	}
+	return 60
+}
+
+// CheckpointCost returns the simulated cost of writing one checkpoint
+// (default 1 second).
+func (p *Plan) CheckpointCost() float64 {
+	if p == nil || p.CheckpointCostS <= 0 {
+		return 1
+	}
+	return p.CheckpointCostS
+}
+
+// SpecMultiple returns the speculation trigger multiple (0 = disabled).
+func (p *Plan) SpecMultiple() float64 {
+	if p == nil || p.SpeculativeMultiple <= 0 {
+		return 0
+	}
+	return p.SpeculativeMultiple
+}
+
+// String renders the plan for logs.
+func (p *Plan) String() string {
+	if !p.Enabled() {
+		return "chaos: disabled"
+	}
+	return fmt.Sprintf("chaos: seed=%d crash=%.2f mtbf=%.0fs slow=%.2fx%.1f dfs=%.2f spec=%.1fx",
+		p.Seed, p.JobCrashProb, p.MTBFSeconds, p.SlowNodeProb, p.SlowBy(), p.DFSReadFailProb, p.SpeculativeMultiple)
+}

@@ -1,0 +1,122 @@
+package chaos
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNilAndZeroPlansInjectNothing(t *testing.T) {
+	var nilPlan *Plan
+	plans := []*Plan{nilPlan, {}, {Seed: 42}}
+	for _, p := range plans {
+		if p.Enabled() {
+			t.Errorf("%v should be disabled", p)
+		}
+		if p.CrashesJob("j", 0) || p.Straggles("j", 0) || p.FailsRead("j", 0, 0) {
+			t.Errorf("%v injected a fault", p)
+		}
+		if n := p.TaskFailures("j", 0, 5); n != 0 {
+			t.Errorf("%v injected %d task failures with MTBF disabled", p, n)
+		}
+	}
+	if nilPlan.String() != "chaos: disabled" {
+		t.Error("nil plan string")
+	}
+	// Defaults survive a nil receiver.
+	if nilPlan.SlowBy() != 3 || nilPlan.Interval(0) != 60 || nilPlan.CheckpointCost() != 1 {
+		t.Error("nil plan defaults")
+	}
+	if nilPlan.SpecMultiple() != 0 {
+		t.Error("nil plan should disable speculation")
+	}
+}
+
+func TestDrawsDeterministicAndKeyed(t *testing.T) {
+	p := &Plan{Seed: 7, JobCrashProb: 0.5, SlowNodeProb: 0.5, DFSReadFailProb: 0.5, MTBFSeconds: 100}
+	for attempt := 0; attempt < 16; attempt++ {
+		if p.CrashesJob("job_a", attempt) != p.CrashesJob("job_a", attempt) {
+			t.Fatal("CrashesJob not deterministic")
+		}
+		if p.FailurePoint("job_a", attempt, 3) != p.FailurePoint("job_a", attempt, 3) {
+			t.Fatal("FailurePoint not deterministic")
+		}
+	}
+	// Draw kinds are independent: the same (job, attempt) key must not give
+	// identical variates for different fault kinds.
+	same := 0
+	for i := 0; i < 64; i++ {
+		job := string(rune('a' + i%26))
+		if p.CrashesJob(job, i) == p.Straggles(job, i) {
+			same++
+		}
+	}
+	if same == 64 {
+		t.Error("crash and straggle draws are perfectly correlated")
+	}
+	// Different seeds change fates.
+	q := &Plan{Seed: 8, JobCrashProb: 0.5}
+	diff := false
+	for i := 0; i < 64 && !diff; i++ {
+		diff = p.CrashesJob("job_a", i) != q.CrashesJob("job_a", i)
+	}
+	if !diff {
+		t.Error("seed does not influence draws")
+	}
+}
+
+func TestDrawDistribution(t *testing.T) {
+	// The keyed variates should be roughly uniform: with p=0.5 over many
+	// (job, attempt) keys, both outcomes occur at unsuspicious rates.
+	p := &Plan{Seed: 3, JobCrashProb: 0.5}
+	crashed := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if p.CrashesJob("job", i) {
+			crashed++
+		}
+	}
+	if crashed < n/3 || crashed > 2*n/3 {
+		t.Errorf("crash rate %d/%d is far from 0.5", crashed, n)
+	}
+	// FailurePoint stays in [0,1).
+	for i := 0; i < 200; i++ {
+		if f := p.FailurePoint("job", 0, i); f < 0 || f >= 1 {
+			t.Fatalf("FailurePoint %g outside [0,1)", f)
+		}
+	}
+}
+
+func TestTaskFailuresExpectation(t *testing.T) {
+	p := &Plan{Seed: 9, MTBFSeconds: 100}
+	// Integer expectations are exact; fractional parts are Bernoulli.
+	if n := p.TaskFailures("j", 0, 3.0); n != 3 {
+		t.Errorf("expected 3 failures, got %d", n)
+	}
+	sum := 0
+	const trials = 1000
+	for i := 0; i < trials; i++ {
+		sum += p.TaskFailures("j", i, 0.5)
+	}
+	mean := float64(sum) / trials
+	if math.Abs(mean-0.5) > 0.1 {
+		t.Errorf("mean failures %.3f for expectation 0.5", mean)
+	}
+}
+
+func TestDefaultPlanScales(t *testing.T) {
+	quiet := Default(1, 0)
+	if quiet.Enabled() {
+		t.Error("zero-rate default plan should be quiet")
+	}
+	if quiet.SpecMultiple() != 1.5 {
+		t.Error("default plan should enable speculation")
+	}
+	p := Default(1, 30)
+	if !p.Enabled() || p.MTBFSeconds != 120 {
+		t.Errorf("30/hour => MTBF 120s, got %+v", p)
+	}
+	hot := Default(1, 6000)
+	if hot.JobCrashProb > 0.2 || hot.SlowNodeProb > 0.25 || hot.DFSReadFailProb > 0.3 {
+		t.Errorf("probabilities must saturate: %+v", hot)
+	}
+}

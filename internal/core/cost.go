@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"musketeer/internal/analysis"
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
@@ -66,6 +67,10 @@ type Estimator struct {
 	// reach[op] is the set of ops transitively reachable from op
 	// (descendants), used by the exhaustive partitioner's cycle check.
 	reach map[*ir.Op]map[*ir.Op]bool
+	// chaos, when non-nil, adds each engine's expected fault-recovery cost
+	// to fragment scores, so the automatic mapper prefers engines with
+	// cheaper recovery mechanisms under a configured fault rate.
+	chaos *chaos.Plan
 	// props holds the analyzer's propagated key-uniqueness/sortedness
 	// facts; shuffle surcharges are skipped for provably redundant
 	// repartitions (a DISTINCT over already-unique rows, a SORT over
@@ -142,6 +147,17 @@ func (e *Estimator) WithInputSizes(sizes map[string]int64) (*Estimator, error) {
 	e.fragCache = map[string]fragChoice{}
 	e.fragMu.Unlock()
 	return e, nil
+}
+
+// WithChaos makes fragment scores include the engine's expected recovery
+// cost under the plan's fault rates (nil removes the term). Recovery terms
+// change fragment costs, so memoized choices are dropped.
+func (e *Estimator) WithChaos(p *chaos.Plan) *Estimator {
+	e.chaos = p
+	e.fragMu.Lock()
+	e.fragCache = map[string]fragChoice{}
+	e.fragMu.Unlock()
+	return e
 }
 
 func collectInputPaths(d *ir.DAG, acc []string) []string {
@@ -263,7 +279,18 @@ func (e *Estimator) FragmentCost(f *ir.Fragment, eng *engines.Engine) cluster.Se
 		v.Push += e.sizes[out]
 	}
 	e.addOpVolumes(&v, f.ComputeOps(), eng, 1)
-	return eng.EstimateCost(e.Cluster, v)
+	return e.withRecovery(eng, len(f.ComputeOps()), eng.EstimateCost(e.Cluster, v))
+}
+
+// withRecovery adds the engine's expected fault-recovery cost (paper
+// Table 3's mechanism priced under the chaos plan's rates) to a predicted
+// base cost. A no-op without a chaos plan, on infeasible fragments, and
+// under a zero fault rate.
+func (e *Estimator) withRecovery(eng *engines.Engine, depth int, base cluster.Seconds) cluster.Seconds {
+	if e.chaos == nil || math.IsInf(float64(base), 1) {
+		return base
+	}
+	return base + engines.ExpectedRecovery(e.chaos, eng, e.Cluster, depth, base)
 }
 
 // addOpVolumes folds the estimated per-operator volumes of ops into v,
@@ -358,7 +385,7 @@ func (e *Estimator) whileCost(w *ir.Op, eng *engines.Engine) cluster.Seconds {
 			v.Pull += e.sizes[in]
 		}
 		e.addOpVolumes(&v, body.Ops, eng, int64(iters))
-		return eng.EstimateCost(e.Cluster, v)
+		return e.withRecovery(eng, len(body.Ops)*iters, eng.EstimateCost(e.Cluster, v))
 	}
 	// Driver-looped: partition the body for this engine and pay the whole
 	// per-iteration pipeline every round.

@@ -142,14 +142,18 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 		job := part.Jobs[i]
 		spanName := "job:" + job.Frag.Name() // precomputed: no per-attempt alloc when tracing is off
 		jobs[i] = sched.Job{
-			Name: job.Frag.Name(),
-			Deps: deps[i],
+			Name:      job.Frag.Name(),
+			Deps:      deps[i],
+			Predicted: job.Cost,
 			Run: func(jctx context.Context, attempt int) (sched.Result, error) {
 				jsp := r.Rec.StartSpan(ssp, spanName, "job")
 				defer jsp.End()
 				jsp.NewTrack()
 				jsp.SetStr("engine", job.Engine.Name())
 				jsp.SetInt("attempt", int64(attempt))
+				if sched.IsSpeculative(jctx) {
+					jsp.SetInt("speculative", 1)
+				}
 				jobSpans[i] = jsp
 				rctx := r.Ctx
 				rctx.Ctx = jctx
@@ -278,6 +282,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 	if err != nil {
 		return nil, 0, err
 	}
+	est.WithChaos(rctx.Chaos)
 	// Seed body input sizes from the outer relations currently in the DFS.
 	outerPaths := map[string]string{}
 	sizes := map[string]int64{}
@@ -388,13 +393,17 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 			ji := ji
 			job := part.Jobs[ji]
 			iterJobs[ji] = sched.Job{
-				Name: job.Frag.Name(),
-				Deps: bodyDeps[ji],
+				Name:      job.Frag.Name(),
+				Deps:      bodyDeps[ji],
+				Predicted: job.Cost,
 				Run: func(jctx context.Context, attempt int) (sched.Result, error) {
 					bsp := r.Rec.StartSpan(isp, bodySpanNames[ji], "job")
 					defer bsp.End()
 					bsp.SetStr("engine", eng.Name())
 					bsp.SetInt("attempt", int64(attempt))
+					if sched.IsSpeculative(jctx) {
+						bsp.SetInt("speculative", 1)
+					}
 					plan, err := eng.Plan(job.Frag, r.Mode)
 					if err != nil {
 						return sched.Result{}, err
@@ -423,6 +432,20 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 		}
 		isp.SetSim(float64(simClock), float64(rep.Makespan))
 		simClock += rep.Makespan
+		if rctx.Chaos.Enabled() {
+			// Under a chaos plan, materializing loop-carried state to the
+			// DFS each round is an explicit checkpoint: a later fault
+			// restarts the loop from the last round's state, not from
+			// iteration zero. Charge its cost on the simulated clock.
+			ck := rctx.Chaos.CheckpointCost()
+			csp := r.Rec.StartSpan(isp, "checkpoint", "chaos")
+			csp.SetInt("iter", int64(iter))
+			csp.End()
+			csp.SetSim(float64(simClock), ck)
+			simClock += cluster.Seconds(ck)
+			total += cluster.Seconds(ck)
+			r.Metrics.Counter("chaos_checkpoints_total").Add(1)
+		}
 		// Rebind carried state for the next round.
 		for inName, outName := range w.Params.Carried {
 			if err := loopFS.Copy(outName, loopPath(inName)); err != nil {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
 	"musketeer/internal/engines"
@@ -71,11 +72,11 @@ func TestWhileDriverNonConvergence(t *testing.T) {
 	}
 }
 
-// TestRunnerRetriesTransientFaults: with a fault model killing whole job
+// TestRunnerRetriesTransientFaults: with a chaos plan killing whole job
 // attempts, a Runner whose scheduler retries transient failures must
-// complete the workflow; without a retry budget the same model fails it.
+// complete the workflow; without a retry budget the same plan fails it.
 func TestRunnerRetriesTransientFaults(t *testing.T) {
-	faults := &engines.FaultModel{JobFailureProb: 0.5, Seed: 11}
+	plan := &chaos.Plan{JobCrashProb: 0.5, Seed: 11}
 	run := func(s *sched.Scheduler) (*WorkflowResult, error) {
 		dag := maxPropertyPrice()
 		fs := seedPropertyDFS(t, 1000)
@@ -88,7 +89,7 @@ func TestRunnerRetriesTransientFaults(t *testing.T) {
 			t.Fatal(err)
 		}
 		r := &Runner{
-			Ctx:   engines.RunContext{DFS: fs, Cluster: cluster.Local(7), Faults: faults},
+			Ctx:   engines.RunContext{DFS: fs, Cluster: cluster.Local(7), Chaos: plan},
 			Mode:  engines.ModeOptimized,
 			Sched: s,
 		}

@@ -115,6 +115,11 @@ type Profile struct {
 	// NaiveFactor multiplies processing time for naive (unfused,
 	// no shared scans, no type inference) generated code.
 	NaiveFactor float64
+	// CheckpointS is the engine's default periodic-checkpoint interval in
+	// simulated seconds, for engines whose fault tolerance rolls back to a
+	// global checkpoint (Table 3: Naiad, PowerGraph). Zero means the chaos
+	// plan's (or the global 60s) default.
+	CheckpointS float64
 }
 
 // Engine is one back-end execution engine instance.

@@ -80,6 +80,7 @@ func Naiad() *Engine {
 			GraphMemFactor: 6,                   // managed-heap vertex/edge objects
 			MemCapGB:       11, ThrashFactor: 5, // in-memory dataflow state
 			NativeIteration: true,
+			CheckpointS:     60, // periodic global checkpoint of dataflow state
 			CodegenTaxPct:   2, NaiveFactor: 1.6, // "virtually non-existent" (§6.4)
 		},
 	}
@@ -101,6 +102,7 @@ func NaiadLindi() *Engine {
 			ShuffleMBps:     35,
 			NativeIteration: true,
 			NonAssocGroupBy: true,
+			CheckpointS:     60,
 			CodegenTaxPct:   0, NaiveFactor: 1.6,
 		},
 	}
@@ -120,6 +122,7 @@ func PowerGraph() *Engine {
 			MemCapGB:       12, ThrashFactor: 6, // strictly in-memory system
 			NativeIteration: true,
 			MaxUsefulNodes:  16, // §2.2: no benefit beyond 16 nodes
+			CheckpointS:     90, // snapshot algorithm amortized over longer epochs
 			CodegenTaxPct:   12, NaiveFactor: 1.5,
 		},
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/dfs"
 	"musketeer/internal/exec"
@@ -21,9 +22,11 @@ type RunContext struct {
 	// executions, a per-session namespaced view.
 	DFS     *dfs.DFS
 	Cluster *cluster.Cluster
-	// Faults, when non-nil, injects worker failures; each engine recovers
-	// per its Table 3 mechanism (task retry, lineage, checkpoint, restart).
-	Faults *FaultModel
+	// Chaos, when non-nil, is the deterministic fault-injection plan: job
+	// crashes, worker failures, stragglers, and DFS read faults are drawn
+	// from it, and each engine recovers per its Table 3 mechanism (task
+	// retry, lineage, checkpoint, restart).
+	Chaos *chaos.Plan
 	// Attempt is the scheduler's 0-based retry attempt for this job; the
 	// fault model derives per-attempt failure draws from it so a retried
 	// job does not deterministically die the same death.
@@ -76,7 +79,14 @@ type RunResult struct {
 	// them (included in Makespan).
 	Failures int
 	Recovery cluster.Seconds
-	Trace    *exec.Trace
+	// Straggler reports that the attempt landed on an injected slow node.
+	Straggler bool
+	// Checkpoints is how many periodic checkpoints the attempt wrote
+	// (rollback-recovery engines only).
+	Checkpoints int
+	// DFSRetries counts input blocks re-fetched after injected read faults.
+	DFSRetries int
+	Trace      *exec.Trace
 	// PullBytes/PushBytes are the effective volumes moved at job edges.
 	PullBytes, PushBytes int64
 }
@@ -106,11 +116,13 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 	}
 	// Transient whole-job failures (driver/master loss) are injected before
 	// any output is written, so a retried attempt replays cleanly.
-	if err := ctx.Faults.FailAttempt(p.Frag.Name(), ctx.Attempt); err != nil {
-		return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+	if ctx.Chaos.CrashesJob(p.Frag.Name(), ctx.Attempt) {
+		ctx.Metrics.Counter("chaos_job_crashes_total").Add(1)
+		return nil, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(),
+			&TransientError{Job: p.Frag.Name(), Attempt: ctx.Attempt})
 	}
 	env := exec.Env{}
-	pullBytes, pullSp, err := runPull(ctx, p, env)
+	pullBytes, dfsRetries, pullSp, err := runPull(ctx, p, env)
 	if err != nil {
 		return nil, err
 	}
@@ -127,26 +139,20 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 	ctx.Metrics.Counter("engine_jobs_total").Add(1)
 
 	res := &RunResult{
-		Job:       p.Frag.Name(),
-		Engine:    p.Engine.Name(),
-		Trace:     trace,
-		PullBytes: pullBytes,
-		PushBytes: pushBytes,
+		Job:        p.Frag.Name(),
+		Engine:     p.Engine.Name(),
+		Trace:      trace,
+		PullBytes:  pullBytes,
+		PushBytes:  pushBytes,
+		DFSRetries: dfsRetries,
 	}
 	if p.While != nil {
 		res.Iterations = trace.Iterations[p.While.ID]
 	}
 	res.Breakdown, res.OOM = p.Engine.cost(ctx.Cluster, p, pullBytes, pushBytes, trace)
 	res.Makespan = res.Breakdown.Total()
-	if ctx.Faults != nil {
-		// Derive a per-job seed so different jobs see different failures
-		// while the whole run stays reproducible.
-		fm := *ctx.Faults
-		for _, ch := range p.Frag.Name() {
-			fm.Seed = fm.Seed*131 + int64(ch)
-		}
-		res.Recovery, res.Failures = fm.RecoveryOverhead(p.Engine, ctx.Cluster, res.Makespan)
-		res.Makespan += res.Recovery
+	if ctx.Chaos != nil {
+		applyChaos(ctx, p, res)
 	}
 	// The simulated cost breakdown is only known now; place the already-
 	// closed phase spans on the simulated timeline after the fact (pull
@@ -159,24 +165,36 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 }
 
 // runPull reads the fragment's external inputs into env, recording the
-// "pull" phase span. The returned span is already ended; the caller places
-// it on the simulated timeline once the cost breakdown is known.
-func runPull(ctx RunContext, p *Plan, env exec.Env) (int64, *obs.Span, error) {
+// "pull" phase span. The chaos plan may fail individual block reads; a
+// failed read is re-fetched from a replica, paying the transfer a second
+// time. The returned span is already ended; the caller places it on the
+// simulated timeline once the cost breakdown is known.
+func runPull(ctx RunContext, p *Plan, env exec.Env) (int64, int, *obs.Span, error) {
 	sp := ctx.Rec.StartSpan(ctx.Span, "pull", "phase")
 	defer sp.End()
 	var pullBytes int64
-	for _, in := range p.Frag.ExtIn {
+	retries := 0
+	for i, in := range p.Frag.ExtIn {
 		rel, err := ctx.DFS.ReadRelation(InputPath(in))
 		if err != nil {
-			return 0, sp, fmt.Errorf("%s: %w", p.Engine.Name(), err)
+			return 0, 0, sp, fmt.Errorf("%s: %w", p.Engine.Name(), err)
+		}
+		if ctx.Chaos.FailsRead(p.Frag.Name(), ctx.Attempt, i) {
+			// The replica re-read moves the same bytes again.
+			retries++
+			pullBytes += rel.EffectiveBytes()
 		}
 		rel.Name = in.Out
 		env[in.Out] = rel
 		pullBytes += rel.EffectiveBytes()
 	}
+	if retries > 0 {
+		sp.SetInt("dfs_retries", int64(retries))
+		ctx.Metrics.Counter("chaos_dfs_read_retries_total").Add(int64(retries))
+	}
 	sp.SetInt("bytes", pullBytes)
 	sp.SetInt("inputs", int64(len(p.Frag.ExtIn)))
-	return pullBytes, sp, nil
+	return pullBytes, retries, sp, nil
 }
 
 // runProcess evaluates the fragment's operators through the shared

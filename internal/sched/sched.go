@@ -39,6 +39,12 @@ type Job struct {
 	// increments across retries. The context carries the submission's
 	// cancellation; long-running jobs must observe it.
 	Run func(ctx context.Context, attempt int) (Result, error)
+	// Predicted is the cost model's predicted simulated duration. When the
+	// scheduler speculates (Options.SpeculativeMultiple > 0), an attempt
+	// whose reported duration exceeds the multiple of this prediction gets a
+	// backup attempt; the first finisher (in simulated time) wins. Zero
+	// disables speculation for this job.
+	Predicted cluster.Seconds
 }
 
 // Result is what a successful job attempt reports back.
@@ -71,6 +77,15 @@ type Outcome struct {
 	// Skipped marks a job that never ran: a dependency failed or the
 	// submission was cancelled before dispatch.
 	Skipped bool
+	// Speculated marks a job that ran a backup attempt after its original
+	// exceeded the speculation threshold; BackupWon reports that the backup
+	// finished first (its result was kept). SpecWaste is the simulated time
+	// the losing attempt burned before being cancelled — real cluster work
+	// that bought no progress, included in the report's SumDuration but
+	// never in the critical path.
+	Speculated bool
+	BackupWon  bool
+	SpecWaste  cluster.Seconds
 }
 
 // JobError wraps a failed job's root-cause error with its name.
@@ -107,6 +122,11 @@ type Options struct {
 	MaxRetries int
 	// Retryable classifies errors as transient. Nil retries nothing.
 	Retryable func(error) bool
+	// SpeculativeMultiple enables straggler mitigation: when a job with a
+	// non-zero Predicted cost reports a duration exceeding this multiple of
+	// the prediction, the scheduler launches a backup attempt and keeps
+	// whichever finishes first in simulated time. Zero disables speculation.
+	SpeculativeMultiple float64
 	// Metrics, when set, receives scheduler counters and latency
 	// histograms (jobs completed/failed/skipped, retries, queue wait and
 	// run wall time). Nil disables metric recording at zero cost.
@@ -257,9 +277,11 @@ func (s *Scheduler) run(ctx context.Context, jobs []Job, admission bool) *Report
 		}
 	}
 
-	// Deterministic simulated-time accounting over the dependency DAG.
+	// Deterministic simulated-time accounting over the dependency DAG. A
+	// speculated job's losing attempt consumed real cluster time that the
+	// critical path never sees; SumDuration bills it.
 	for _, out := range rep.Outcomes {
-		rep.SumDuration += out.Duration
+		rep.SumDuration += out.Duration + out.SpecWaste
 	}
 	if rep.Err == nil {
 		finish := make([]cluster.Seconds, n)
@@ -307,8 +329,20 @@ func (s *Scheduler) recordMetrics(rep *Report) {
 		default:
 			m.Counter("sched_jobs_completed_total").Add(1)
 		}
-		if out.Attempts > 1 {
-			m.Counter("sched_job_retries_total").Add(int64(out.Attempts - 1))
+		if out.Speculated {
+			m.Counter("sched_speculative_attempts_total").Add(1)
+			if out.BackupWon {
+				m.Counter("sched_speculative_wins_total").Add(1)
+			}
+			m.Histogram("sched_speculative_waste_s").Observe(float64(out.SpecWaste))
+		}
+		if retries := out.Attempts - 1; retries > 0 {
+			if out.Speculated {
+				retries-- // the backup attempt is speculation, not a retry
+			}
+			if retries > 0 {
+				m.Counter("sched_job_retries_total").Add(int64(retries))
+			}
 		}
 		if out.Attempts > 0 {
 			m.Histogram("sched_queue_wait_ms").Observe(float64(out.QueueWait) / float64(time.Millisecond))
@@ -349,6 +383,7 @@ func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool, submitted
 		out.RunWall += time.Since(attemptStart)
 		if err == nil {
 			out.Value, out.Duration = res.Value, res.Duration
+			s.speculate(ctx, j, &out, attempt)
 			return out
 		}
 		out.Err = err
@@ -357,4 +392,52 @@ func (s *Scheduler) runJob(ctx context.Context, j Job, admission bool, submitted
 		}
 		out.Err = nil // retrying
 	}
+}
+
+// specCtxKey marks a job context as belonging to a speculative backup
+// attempt, so the backup itself is never re-speculated.
+type specCtxKey struct{}
+
+// IsSpeculative reports whether ctx belongs to a speculative backup attempt
+// launched by the scheduler's straggler mitigation.
+func IsSpeculative(ctx context.Context) bool {
+	v, _ := ctx.Value(specCtxKey{}).(bool)
+	return v
+}
+
+// speculate implements straggler mitigation on the simulated timeline. The
+// backup launches at T0 = multiple × predicted — the moment the scheduler
+// notices the original has overrun — and runs as a fresh attempt (new fault
+// draws: it will usually not land on the same slow node). Whichever attempt
+// finishes first in simulated time wins; the loser is cancelled at that
+// moment and its burn since T0 is accounted as SpecWaste.
+func (s *Scheduler) speculate(ctx context.Context, j Job, out *Outcome, attempt int) {
+	mult := s.opts.SpeculativeMultiple
+	if mult <= 0 || j.Predicted <= 0 || IsSpeculative(ctx) {
+		return
+	}
+	launch := cluster.Seconds(mult * float64(j.Predicted))
+	if out.Duration <= launch {
+		return
+	}
+	out.Speculated = true
+	attemptStart := time.Now()
+	res, err := j.Run(context.WithValue(ctx, specCtxKey{}, true), attempt+1)
+	out.RunWall += time.Since(attemptStart)
+	out.Attempts++
+	if err != nil {
+		// A failed backup changes nothing: the original already succeeded.
+		return
+	}
+	backupFinish := launch + res.Duration
+	if backupFinish < out.Duration {
+		// Backup won: its result stands and the job finishes at the backup's
+		// finish; the original is cancelled at that moment.
+		out.BackupWon = true
+		out.Value = res.Value
+		out.Duration = backupFinish
+	}
+	// Both attempts ran from launch until the winner finished; the loser's
+	// share of that overlap is speculation's bill.
+	out.SpecWaste = out.Duration - launch
 }

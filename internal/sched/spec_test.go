@@ -1,0 +1,155 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/obs"
+)
+
+// specJob reports durs[attempt] as its simulated duration, recording which
+// attempts ran and whether they were flagged speculative.
+func specJob(name string, predicted cluster.Seconds, durs []cluster.Seconds, specSeen *[]bool) Job {
+	return Job{
+		Name:      name,
+		Predicted: predicted,
+		Run: func(ctx context.Context, attempt int) (Result, error) {
+			if specSeen != nil {
+				*specSeen = append(*specSeen, IsSpeculative(ctx))
+			}
+			d := durs[len(durs)-1]
+			if attempt < len(durs) {
+				d = durs[attempt]
+			}
+			return Result{Duration: d, Value: attempt}, nil
+		},
+	}
+}
+
+func TestSpeculationBackupWins(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := New(Options{Workers: 2, SpeculativeMultiple: 1.5, Metrics: reg})
+	// Predicted 100 ⇒ backup launches at 150. Original straggles to 500;
+	// the backup takes the nominal 100 and finishes at 250 — first.
+	var spec []bool
+	rep := s.Run(context.Background(), []Job{specJob("a", 100, []cluster.Seconds{500, 100}, &spec)})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	out := rep.Outcomes[0]
+	if !out.Speculated || !out.BackupWon {
+		t.Fatalf("expected winning backup, got %+v", out)
+	}
+	if out.Duration != 250 {
+		t.Errorf("duration = %v, want 250 (launch 150 + backup 100)", out.Duration)
+	}
+	if out.SpecWaste != 100 {
+		t.Errorf("waste = %v, want 100 (original cancelled at 250, burned since 150)", out.SpecWaste)
+	}
+	if out.Value != 1 {
+		t.Errorf("value = %v, want the backup attempt's", out.Value)
+	}
+	if out.Attempts != 2 {
+		t.Errorf("attempts = %d, want 2", out.Attempts)
+	}
+	// The backup saw the speculative marker; the original did not.
+	if len(spec) != 2 || spec[0] || !spec[1] {
+		t.Errorf("speculative flags = %v, want [false true]", spec)
+	}
+	// The cluster bill includes the loser's burn; the makespan does not.
+	if rep.Makespan != 250 {
+		t.Errorf("makespan = %v, want 250", rep.Makespan)
+	}
+	if rep.SumDuration != 350 {
+		t.Errorf("sum duration = %v, want 350 (250 + 100 waste)", rep.SumDuration)
+	}
+	if reg.Counter("sched_speculative_attempts_total").Value() != 1 ||
+		reg.Counter("sched_speculative_wins_total").Value() != 1 {
+		t.Error("speculation counters not recorded")
+	}
+}
+
+func TestSpeculationOriginalWins(t *testing.T) {
+	s := New(Options{Workers: 2, SpeculativeMultiple: 1.5})
+	// Original overruns to 200 (launch at 150), but the backup is even
+	// slower: 150 + 120 = 270 > 200. Original's result stands.
+	rep := s.Run(context.Background(), []Job{specJob("a", 100, []cluster.Seconds{200, 120}, nil)})
+	out := rep.Outcomes[0]
+	if !out.Speculated || out.BackupWon {
+		t.Fatalf("expected losing backup, got %+v", out)
+	}
+	if out.Duration != 200 || out.Value != 0 {
+		t.Errorf("original result must stand: %+v", out)
+	}
+	if out.SpecWaste != 50 {
+		t.Errorf("waste = %v, want 50 (backup burned 150..200)", out.SpecWaste)
+	}
+}
+
+func TestSpeculationNotTriggered(t *testing.T) {
+	// Under the threshold, disabled multiple, zero prediction — no backups.
+	cases := []struct {
+		name string
+		opts Options
+		job  Job
+	}{
+		{"under threshold", Options{SpeculativeMultiple: 1.5}, specJob("a", 100, []cluster.Seconds{120}, nil)},
+		{"speculation off", Options{}, specJob("a", 100, []cluster.Seconds{900}, nil)},
+		{"no prediction", Options{SpeculativeMultiple: 1.5}, specJob("a", 0, []cluster.Seconds{900}, nil)},
+	}
+	for _, tc := range cases {
+		rep := New(tc.opts).Run(context.Background(), []Job{tc.job})
+		out := rep.Outcomes[0]
+		if out.Speculated || out.Attempts != 1 || out.SpecWaste != 0 {
+			t.Errorf("%s: unexpected speculation: %+v", tc.name, out)
+		}
+	}
+}
+
+func TestSpeculationBackupFailureKeepsOriginal(t *testing.T) {
+	s := New(Options{Workers: 2, SpeculativeMultiple: 1.5})
+	boom := errors.New("backup died")
+	job := Job{
+		Name:      "a",
+		Predicted: 100,
+		Run: func(ctx context.Context, attempt int) (Result, error) {
+			if IsSpeculative(ctx) {
+				return Result{}, boom
+			}
+			return Result{Duration: 500, Value: "orig"}, nil
+		},
+	}
+	rep := s.Run(context.Background(), []Job{job})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	out := rep.Outcomes[0]
+	if !out.Speculated || out.BackupWon {
+		t.Fatalf("failed backup must not win: %+v", out)
+	}
+	if out.Value != "orig" || out.Duration != 500 || out.Err != nil {
+		t.Errorf("original result must survive a failed backup: %+v", out)
+	}
+}
+
+func TestSpeculationBackupNeverReSpeculates(t *testing.T) {
+	s := New(Options{Workers: 2, SpeculativeMultiple: 1.5})
+	calls := 0
+	job := Job{
+		Name:      "a",
+		Predicted: 10,
+		Run: func(ctx context.Context, attempt int) (Result, error) {
+			calls++
+			return Result{Duration: 10_000}, nil // every attempt straggles
+		},
+	}
+	rep := s.Run(context.Background(), []Job{job})
+	if rep.Err != nil {
+		t.Fatal(rep.Err)
+	}
+	if calls != 2 {
+		t.Errorf("straggling backup relaunched: %d calls, want 2", calls)
+	}
+}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"musketeer/internal/analysis"
+	"musketeer/internal/chaos"
 	"musketeer/internal/cluster"
 	"musketeer/internal/core"
 	"musketeer/internal/dfs"
@@ -125,7 +126,7 @@ type Musketeer struct {
 	cluster *cluster.Cluster
 	engines map[string]*engines.Engine
 	history *core.History
-	faults  *engines.FaultModel
+	chaos   *chaos.Plan
 	sched   *sched.Scheduler
 	workers int
 	retries int
@@ -157,14 +158,38 @@ func WithHistory(h *core.History) Option {
 	return func(m *Musketeer) { m.history = h }
 }
 
+// ChaosPlan is a deterministic fault-injection plan: whole-job crashes,
+// per-task worker failures, slow nodes, and DFS read faults, all drawn from
+// a seed. See chaos.Plan for the knobs.
+type ChaosPlan = chaos.Plan
+
+// WithChaos installs a fault-injection plan. Every injected fault is a pure
+// function of (seed, job, attempt), so two runs with the same seed produce
+// identical faults, makespans, and traces regardless of scheduling
+// interleavings. Engines recover per their fault-tolerance mechanism
+// (Table 3): Hadoop re-runs tasks, Spark recomputes lineage,
+// Naiad/PowerGraph roll back to checkpoints, single-machine systems
+// restart. The cost estimator adds each engine's expected recovery cost to
+// fragment scores, so automatic mapping prefers engines that fail cheaply.
+func WithChaos(p *ChaosPlan) Option {
+	return func(m *Musketeer) { m.chaos = p }
+}
+
+// DefaultChaos is a convenience plan exercising every injection point at
+// the given fault rate (expected worker failures per simulated hour), with
+// speculative re-execution enabled at 1.5x predicted cost.
+func DefaultChaos(seed int64, faultsPerHour float64) *ChaosPlan {
+	return chaos.Default(seed, faultsPerHour)
+}
+
 // WithFaults injects worker failures with the given cluster-wide mean time
 // between failures (simulated seconds). Engines recover per their fault-
 // tolerance mechanism (Table 3): Hadoop re-runs tasks, Spark recomputes
 // lineage, Naiad/PowerGraph roll back to checkpoints, single-machine
-// systems restart.
+// systems restart. Kept as a shorthand for WithChaos with only MTBF set.
 func WithFaults(mtbfSeconds float64, seed int64) Option {
 	return func(m *Musketeer) {
-		m.faults = &engines.FaultModel{MTBFSeconds: mtbfSeconds, Seed: seed}
+		m.chaos = &chaos.Plan{MTBFSeconds: mtbfSeconds, Seed: seed}
 	}
 }
 
@@ -197,11 +222,11 @@ func WithTracing() Option {
 // a retry budget the first killed attempt fails the workflow.
 func WithTransientFailures(prob float64, seed int64) Option {
 	return func(m *Musketeer) {
-		if m.faults == nil {
-			m.faults = &engines.FaultModel{Seed: seed}
+		if m.chaos == nil {
+			m.chaos = &chaos.Plan{}
 		}
-		m.faults.JobFailureProb = prob
-		m.faults.Seed = seed
+		m.chaos.JobCrashProb = prob
+		m.chaos.Seed = seed
 	}
 }
 
@@ -220,10 +245,11 @@ func New(opts ...Option) *Musketeer {
 		o(m)
 	}
 	m.sched = sched.New(sched.Options{
-		Workers:    m.workers,
-		MaxRetries: m.retries,
-		Retryable:  engines.IsTransient,
-		Metrics:    m.metrics,
+		Workers:             m.workers,
+		MaxRetries:          m.retries,
+		Retryable:           engines.IsTransient,
+		Metrics:             m.metrics,
+		SpeculativeMultiple: m.chaos.SpecMultiple(),
 	})
 	return m
 }
@@ -376,9 +402,15 @@ func (w *Workflow) Optimize() int {
 	return w.optN
 }
 
-// estimator builds a fresh estimator against the staged inputs.
+// estimator builds a fresh estimator against the staged inputs. When a
+// chaos plan is installed, fragment scores include each engine's expected
+// fault-recovery cost, so automatic mapping reacts to the fault rate.
 func (w *Workflow) estimator() (*core.Estimator, error) {
-	return core.NewEstimator(w.dag, w.m.fs, w.m.cluster, w.m.history)
+	est, err := core.NewEstimator(w.dag, w.m.fs, w.m.cluster, w.m.history)
+	if err != nil {
+		return nil, err
+	}
+	return est.WithChaos(w.m.chaos), nil
 }
 
 // Plan partitions the workflow and picks back-ends automatically
@@ -537,7 +569,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		}
 	}
 	r := &core.Runner{
-		Ctx:      engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Faults: w.m.faults},
+		Ctx:      engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Chaos: w.m.chaos},
 		History:  w.m.history,
 		Mode:     w.Mode,
 		Sched:    w.m.sched,
