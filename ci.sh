@@ -21,8 +21,12 @@
 #   alloc guard       — tracing off adds zero allocations to hot paths
 #   flaky gate        — the concurrency/scheduler/chaos suites 3x back to
 #                       back: a test that only fails sometimes fails here
-#   benchmark gate    — fresh kernel benchmarks and a fresh concurrency run
-#   (mkbenchgate)       vs the committed BENCH_*.json baselines (25%)
+#   benchmark gate    — fresh kernel benchmarks (time, allocs, and B/op) and
+#   (mkbenchgate)       a fresh concurrency run vs the committed
+#                       BENCH_*.json baselines (25%)
+#   streaming bench   — mkbench -streaming end to end at reduced size: the
+#                       fused pipeline, WHILE-body peak-memory comparison,
+#                       and columnar codec must all still run and report
 #
 # Every stage is timed; the summary prints per-stage wall seconds.
 set -eu
@@ -43,13 +47,22 @@ bench_gate() {
     # -count=3: mkbenchgate keeps each benchmark's best run, so a loaded CI
     # host doesn't trip the threshold while a real slowdown (all three runs
     # slow) still does.
-    go test -bench 'BenchmarkKernel|BenchmarkRowKey|BenchmarkSortRows|BenchmarkEncodeDecode|BenchmarkPartitionExhaustive' \
+    go test -bench 'BenchmarkKernel|BenchmarkRowKey|BenchmarkSortRows|BenchmarkEncodeDecode|BenchmarkPartitionExhaustive|BenchmarkStream' \
         -benchmem -run '^$' -count=3 \
         ./internal/exec ./internal/relation ./internal/bench > /tmp/mk_bench_fresh.txt
     go run ./cmd/mkbench -concurrency 2 -concurrency-json /tmp/mk_conc_fresh.json > /dev/null
     go run ./cmd/mkbenchgate \
         -kernels BENCH_kernels.json -bench /tmp/mk_bench_fresh.txt \
         -concurrency BENCH_concurrency.json -fresh-concurrency /tmp/mk_conc_fresh.json
+}
+
+streaming_gate() {
+    # A reduced-size run keeps this stage fast; the acceptance thresholds
+    # (fused speedup, peak-memory reduction, columnar wire ratio) are
+    # asserted by TestStreamingReportThresholds against the committed
+    # BENCH_streaming.json, which is regenerated at full size via
+    # `go run ./cmd/mkbench -streaming -streaming-json BENCH_streaming.json`.
+    go run ./cmd/mkbench -streaming -streaming-rows 50000 -streaming-json /tmp/mk_streaming_fresh.json
 }
 
 stage "go vet"                     go vet ./...
@@ -62,6 +75,7 @@ stage "obs disabled-path alloc guard" go test -count=1 -run 'TestDisabledPathAll
 stage "flaky gate (3x concurrency/sched/chaos)" \
     go test -short -count=3 -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
 stage "benchmark regression gate"  bench_gate
+stage "streaming benchmark"        streaming_gate
 stage "go test -race"              go test -race ./...
 
 echo "== stage times =="

@@ -24,6 +24,9 @@ func main() {
 	concurrencyJSON := flag.String("concurrency-json", "", "write the concurrency benchmark report to this JSON file (e.g. BENCH_concurrency.json)")
 	accuracy := flag.Bool("accuracy", false, "run the estimator-accuracy benchmark (predicted vs simulated makespan per workflow)")
 	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy benchmark report to this JSON file (e.g. BENCH_accuracy.json)")
+	streaming := flag.Bool("streaming", false, "run the streaming-execution benchmark (fused vs materialized throughput, peak memory, codec sizes)")
+	streamingRows := flag.Int("streaming-rows", 0, "input rows for the streaming chain benchmark (0 = default)")
+	streamingJSON := flag.String("streaming-json", "", "write the streaming benchmark report to this JSON file (e.g. BENCH_streaming.json)")
 	chaosBench := flag.Bool("chaos", false, "run the chaos benchmark (makespan inflation vs fault rate per engine)")
 	chaosSeed := flag.Int64("chaos-seed", 7, "seed for the chaos benchmark's fault plans")
 	chaosJSON := flag.String("chaos-json", "", "write the chaos benchmark report to this JSON file (e.g. BENCH_chaos.json)")
@@ -75,6 +78,30 @@ func main() {
 		if *accuracyJSON != "" {
 			if err := bench.WriteAccuracyJSON(*accuracyJSON, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "accuracy:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *streaming || *streamingJSON != "" {
+		rep, err := bench.RunStreaming(*streamingRows)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "streaming:", err)
+			os.Exit(1)
+		}
+		p := rep.Pipeline
+		fmt.Printf("streaming pipeline  %d rows  materialized %.0f rows/s  streamed %.0f rows/s  speedup %.2fx\n",
+			p.Rows, p.MaterializedRowsPerSec, p.StreamedRowsPerSec, p.Speedup)
+		m := rep.Memory
+		fmt.Printf("streaming memory    %s x%d  materialized peak %.1fMB  streamed peak %.1fMB  (-%.0f%%)\n",
+			m.Workload, m.Iterations, float64(m.MaterializedPeakBytes)/1e6, float64(m.StreamedPeakBytes)/1e6, m.PeakReductionPct)
+		c := rep.Codec
+		fmt.Printf("streaming codec     %d rows  tsv %dB  columnar %dB  ratio %.2f\n",
+			c.Rows, c.TSVBytes, c.ColumnarBytes, c.Ratio)
+		if *streamingJSON != "" {
+			if err := bench.WriteStreamingJSON(*streamingJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "streaming:", err)
 				os.Exit(1)
 			}
 		}

@@ -18,12 +18,14 @@ type Measurement struct {
 	NsOp      float64
 	AllocsOp  float64
 	HasAllocs bool
+	BytesOp   float64
+	HasBytes  bool
 }
 
 // Regression is one benchmark metric that exceeded its allowance.
 type Regression struct {
 	Name     string
-	Metric   string // "ns/op", "allocs/op" or "speedup"
+	Metric   string // "ns/op", "allocs/op", "B/op" or "speedup"
 	Fresh    float64
 	Baseline float64
 	Allowed  float64
@@ -63,6 +65,8 @@ func ParseGoBench(r io.Reader) (map[string]Measurement, error) {
 				m.NsOp, seen = v, true
 			case "allocs/op":
 				m.AllocsOp, m.HasAllocs = v, true
+			case "B/op":
+				m.BytesOp, m.HasBytes = v, true
 			}
 		}
 		if !seen {
@@ -77,6 +81,10 @@ func ParseGoBench(r io.Reader) (map[string]Measurement, error) {
 				m.AllocsOp = prev.AllocsOp
 			}
 			m.HasAllocs = m.HasAllocs || prev.HasAllocs
+			if prev.HasBytes && prev.BytesOp < m.BytesOp {
+				m.BytesOp = prev.BytesOp
+			}
+			m.HasBytes = m.HasBytes || prev.HasBytes
 		}
 		out[name] = m
 	}
@@ -89,8 +97,9 @@ func ParseGoBench(r io.Reader) (map[string]Measurement, error) {
 // wall-clock figures) are ignored.
 type afterEntry struct {
 	After *struct {
-		NsOp     float64 `json:"ns_op"`
-		AllocsOp float64 `json:"allocs_op"`
+		NsOp     float64  `json:"ns_op"`
+		AllocsOp float64  `json:"allocs_op"`
+		BytesOp  *float64 `json:"bytes_op"`
 	} `json:"after"`
 }
 
@@ -117,7 +126,11 @@ func LoadKernelBaseline(path string) (map[string]Measurement, error) {
 			if json.Unmarshal(entry, &e) != nil || e.After == nil {
 				continue
 			}
-			out[name] = Measurement{NsOp: e.After.NsOp, AllocsOp: e.After.AllocsOp, HasAllocs: true}
+			m := Measurement{NsOp: e.After.NsOp, AllocsOp: e.After.AllocsOp, HasAllocs: true}
+			if e.After.BytesOp != nil {
+				m.BytesOp, m.HasBytes = *e.After.BytesOp, true
+			}
+			out[name] = m
 		}
 	}
 	if len(out) == 0 {
@@ -129,7 +142,10 @@ func LoadKernelBaseline(path string) (map[string]Measurement, error) {
 // CompareKernels checks every baseline benchmark present in the fresh run.
 // threshold is fractional (0.25 = 25%). Time may drift up to the threshold;
 // allocations get the same relative allowance plus half an allocation, so
-// a zero-alloc baseline fails on the first fresh allocation.
+// a zero-alloc baseline fails on the first fresh allocation. Heap bytes per
+// op (B/op), where the baseline records them, get the relative allowance
+// plus 64 bytes of slack — pinning the streaming pipelines' steady-state
+// memory without tripping on size-class rounding.
 func CompareKernels(fresh, baseline map[string]Measurement, threshold float64) (regs []Regression, checked, missing int) {
 	for name, base := range baseline {
 		f, ok := fresh[name]
@@ -144,6 +160,11 @@ func CompareKernels(fresh, baseline map[string]Measurement, threshold float64) (
 		if base.HasAllocs && f.HasAllocs {
 			if allowed := base.AllocsOp*(1+threshold) + 0.5; f.AllocsOp > allowed {
 				regs = append(regs, Regression{Name: name, Metric: "allocs/op", Fresh: f.AllocsOp, Baseline: base.AllocsOp, Allowed: allowed})
+			}
+		}
+		if base.HasBytes && f.HasBytes {
+			if allowed := base.BytesOp*(1+threshold) + 64; f.BytesOp > allowed {
+				regs = append(regs, Regression{Name: name, Metric: "B/op", Fresh: f.BytesOp, Baseline: base.BytesOp, Allowed: allowed})
 			}
 		}
 	}
@@ -170,6 +191,18 @@ func loadConcurrencyReport(path string) (*bench.ConcurrencyReport, error) {
 		return nil, err
 	}
 	var rep bench.ConcurrencyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+func loadStreamingReport(path string) (*bench.StreamingReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.StreamingReport
 	if err := json.Unmarshal(data, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}

@@ -25,10 +25,10 @@ func TestParseGoBenchStripsGOMAXPROCS(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := map[string]Measurement{
-		"BenchmarkKernelSelect":   {NsOp: 1523563, AllocsOp: 29, HasAllocs: true},
-		"BenchmarkKernelProject":  {NsOp: 1604365, AllocsOp: 7, HasAllocs: true},
-		"BenchmarkKernelHashJoin": {NsOp: 45058391, AllocsOp: 21852, HasAllocs: true},
-		"BenchmarkRowKey/hashed":  {NsOp: 23743, AllocsOp: 0, HasAllocs: true},
+		"BenchmarkKernelSelect":   {NsOp: 1523563, AllocsOp: 29, HasAllocs: true, BytesOp: 433185, HasBytes: true},
+		"BenchmarkKernelProject":  {NsOp: 1604365, AllocsOp: 7, HasAllocs: true, BytesOp: 816512, HasBytes: true},
+		"BenchmarkKernelHashJoin": {NsOp: 45058391, AllocsOp: 21852, HasAllocs: true, BytesOp: 31676430, HasBytes: true},
+		"BenchmarkRowKey/hashed":  {NsOp: 23743, AllocsOp: 0, HasAllocs: true, BytesOp: 0, HasBytes: true},
 	}
 	if len(m) != len(want) {
 		t.Fatalf("parsed %d benchmarks, want %d: %v", len(m), len(want), m)
@@ -49,7 +49,7 @@ BenchmarkX-4   100   1800 ns/op   64 B/op   9 allocs/op
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := m["BenchmarkX"]; got != (Measurement{NsOp: 1500, AllocsOp: 8, HasAllocs: true}) {
+	if got := m["BenchmarkX"]; got != (Measurement{NsOp: 1500, AllocsOp: 8, HasAllocs: true, BytesOp: 64, HasBytes: true}) {
 		t.Errorf("BenchmarkX = %+v, want best of 3 runs", got)
 	}
 }
@@ -124,6 +124,26 @@ func TestGateAllocRegressionAndZeroAllocGuard(t *testing.T) {
 	}
 }
 
+// B/op gating: a baseline that records bytes fails when fresh heap bytes
+// grow past the allowance, and the 64-byte slack absorbs size-class noise.
+// Baselines without bytes never gate on them.
+func TestGateBytesRegression(t *testing.T) {
+	baseline := map[string]Measurement{
+		"BenchmarkStreamFused": {NsOp: 100, AllocsOp: 4, HasAllocs: true, BytesOp: 1024, HasBytes: true},
+		"BenchmarkNoise":       {NsOp: 100, AllocsOp: 4, HasAllocs: true, BytesOp: 1024, HasBytes: true},
+		"BenchmarkNoBytes":     {NsOp: 100, AllocsOp: 4, HasAllocs: true},
+	}
+	fresh := map[string]Measurement{
+		"BenchmarkStreamFused": {NsOp: 100, AllocsOp: 4, HasAllocs: true, BytesOp: 4096, HasBytes: true},
+		"BenchmarkNoise":       {NsOp: 100, AllocsOp: 4, HasAllocs: true, BytesOp: 1300, HasBytes: true},
+		"BenchmarkNoBytes":     {NsOp: 100, AllocsOp: 4, HasAllocs: true, BytesOp: 1 << 30, HasBytes: true},
+	}
+	regs, _, _ := CompareKernels(fresh, baseline, 0.25)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkStreamFused" || regs[0].Metric != "B/op" {
+		t.Fatalf("regs = %v, want only BenchmarkStreamFused B/op", regs)
+	}
+}
+
 func TestGateToleratesNoiseWithinThreshold(t *testing.T) {
 	baseline := map[string]Measurement{"BenchmarkX": {NsOp: 1000, AllocsOp: 100, HasAllocs: true}}
 	fresh := map[string]Measurement{"BenchmarkX": {NsOp: 1240, AllocsOp: 120, HasAllocs: true}}
@@ -160,5 +180,25 @@ func TestLoadKernelBaselineRejectsEmpty(t *testing.T) {
 	}
 	if _, err := LoadKernelBaseline(path); err == nil {
 		t.Error("baseline with no benchmarks accepted")
+	}
+}
+
+// TestStreamingArtifactMeetsThresholds pins the committed streaming report
+// to the PR's acceptance bar: the fused chain must be >=1.5x faster than
+// operator-at-a-time, WHILE-body fusion must cut peak heap by >=30% on the
+// fig3 workload, and the columnar shuffle encoding must be <=60% of TSV.
+func TestStreamingArtifactMeetsThresholds(t *testing.T) {
+	rep, err := loadStreamingReport(filepath.Join("..", "..", "BENCH_streaming.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pipeline.Speedup < 1.5 {
+		t.Errorf("fused pipeline speedup %.2fx, want >= 1.5x", rep.Pipeline.Speedup)
+	}
+	if rep.Memory.PeakReductionPct < 30 {
+		t.Errorf("peak memory reduction %.0f%%, want >= 30%%", rep.Memory.PeakReductionPct)
+	}
+	if rep.Codec.Ratio <= 0 || rep.Codec.Ratio > 0.60 {
+		t.Errorf("columnar/tsv ratio %.2f, want in (0, 0.60]", rep.Codec.Ratio)
 	}
 }

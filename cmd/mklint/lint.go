@@ -68,6 +68,7 @@ func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
 	hotPath := underAny(relpath, hotPathDirs)
 	engines := underAny(relpath, engineDirs)
 	concurrency := underAny(relpath, concurrencyDirs)
+	streaming := hotPath && strings.HasPrefix(baseName(relpath), "stream")
 	if !hotPath && !engines && !concurrency {
 		return out
 	}
@@ -78,6 +79,11 @@ func lintFile(fset *token.FileSet, relpath string, f *ast.File) []Finding {
 			if concurrency {
 				add(n.Pos(), "scheduler-only-concurrency",
 					"bare go statement: execution-stack concurrency must go through internal/sched (Scheduler.Run or sched.ForEach)")
+			}
+		case *ast.SelectorExpr:
+			if streaming && n.Sel.Name == "Rows" && !isBatchRecv(n.X) {
+				add(n.Pos(), "stream-rows",
+					"streaming kernel reads .Rows of an upstream stage: pull batches through RowSource.Next instead of materializing the input")
 			}
 		case *ast.CallExpr:
 			if !hotPath {
@@ -251,6 +257,24 @@ func fmtStringCall(fun ast.Expr) (string, bool) {
 		return sel.Sel.Name, true
 	}
 	return "", false
+}
+
+// baseName returns the last element of a slash-separated path.
+func baseName(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isBatchRecv reports whether the receiver expression is a batch local —
+// an identifier named "b" or prefixed "batch". Streaming kernels may read
+// the rows of the batch they are currently processing; every other .Rows
+// access inside a stream file reaches into a materialized relation, which
+// is exactly what streaming exists to avoid.
+func isBatchRecv(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && (id.Name == "b" || strings.HasPrefix(id.Name, "batch"))
 }
 
 func isStringLit(e ast.Expr) bool {

@@ -103,6 +103,23 @@ func fire(fn func()) { go fn() }`,
 			rule: "scheduler-only-concurrency",
 		},
 		{
+			name: "materialized rows access in streaming kernel",
+			path: "internal/exec/stream_bad.go",
+			src: `package exec
+import "musketeer/internal/relation"
+type badStage struct{ in *relation.Relation }
+func (s *badStage) drain() int { return len(s.in.Rows) }`,
+			rule: "stream-rows",
+		},
+		{
+			name: "upstream relation rows in streaming helper",
+			path: "internal/exec/streaming_bad.go",
+			src: `package exec
+import "musketeer/internal/relation"
+func first(rel *relation.Relation) relation.Row { return rel.Rows[0] }`,
+			rule: "stream-rows",
+		},
+		{
 			name: "span never ended",
 			path: "internal/obs/leak.go",
 			src: `package obs
@@ -170,11 +187,45 @@ func usage() string { return fmt.Sprintf("usage: %s", "musketeer") }`,
 func dispatch(fn func()) { go fn() }`,
 		"internal/bench/poll.go": `package bench
 func poll(fn func()) { go fn() }`,
+		// stream-rows governs stream* files only: materializing kernels in
+		// exec may read relation rows, as may code outside exec entirely.
+		"internal/exec/kernels2.go": `package exec
+import "musketeer/internal/relation"
+func count(rel *relation.Relation) int { return len(rel.Rows) }`,
+		"internal/engines/io.go": `package engines
+import "musketeer/internal/relation"
+func count(rel *relation.Relation) int { return len(rel.Rows) }`,
 	}
 	for path, src := range srcs {
 		if got := lintSource(t, path, src); len(got) != 0 {
 			t.Errorf("%s: unexpected findings: %v", path, got)
 		}
+	}
+}
+
+// Streaming kernels may read the rows of the batch they are processing:
+// idents named "b" or prefixed "batch" are the allowed receivers.
+func TestStreamRowsBatchAccessClean(t *testing.T) {
+	src := `package exec
+import "musketeer/internal/relation"
+func sum(src relation.RowSource) (int, error) {
+	n := 0
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return n, err
+		}
+		if len(b.Rows) == 0 {
+			return n, nil
+		}
+		n += len(b.Rows)
+		for _, batchRow := range b.Rows {
+			_ = batchRow
+		}
+	}
+}`
+	if got := lintSource(t, "internal/exec/stream_ok.go", src); len(got) != 0 {
+		t.Errorf("unexpected findings: %v", got)
 	}
 }
 

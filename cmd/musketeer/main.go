@@ -89,6 +89,7 @@ func run(name string, args []string, statsMode bool) int {
 	maxConcurrent := fs.Int("max-concurrent", 0, "bound on concurrently running back-end jobs (0 = scheduler default)")
 	retries := fs.Int("retries", 0, "per-job retry budget for transiently failed jobs")
 	tracePath := fs.String("trace", "", "write the execution's spans as Chrome trace_event JSON to this file")
+	columnar := fs.Bool("columnar-shuffles", false, "write intra-run shuffle files in the binary columnar wire format (sources and sinks stay TSV)")
 	statsJSON := fs.Bool("json", false, "stats: dump the metrics registry as JSON instead of text")
 	tables := tableFlags{}
 	fs.Var(tables, "table", "stage a relation: name=file (repeatable)")
@@ -123,6 +124,9 @@ func run(name string, args []string, statsMode bool) int {
 	}
 	if *tracePath != "" {
 		opts = append(opts, musketeer.WithTracing())
+	}
+	if *columnar {
+		opts = append(opts, musketeer.WithColumnarShuffles())
 	}
 	m := musketeer.New(opts...)
 	cat := musketeer.Catalog{}

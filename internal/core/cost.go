@@ -71,6 +71,10 @@ type Estimator struct {
 	// to fragment scores, so the automatic mapper prefers engines with
 	// cheaper recovery mechanisms under a configured fault rate.
 	chaos *chaos.Plan
+	// shuffleRatio, when in (0,1], scales the PULL/PUSH volumes of true
+	// intra-run shuffle edges (not sources, not sinks) — the compact wire
+	// codec's encoded-vs-text byte ratio. Zero means shuffles are TSV.
+	shuffleRatio float64
 	// props holds the analyzer's propagated key-uniqueness/sortedness
 	// facts; shuffle surcharges are skipped for provably redundant
 	// repartitions (a DISTINCT over already-unique rows, a SORT over
@@ -154,6 +158,24 @@ func (e *Estimator) WithInputSizes(sizes map[string]int64) (*Estimator, error) {
 // change fragment costs, so memoized choices are dropped.
 func (e *Estimator) WithChaos(p *chaos.Plan) *Estimator {
 	e.chaos = p
+	e.fragMu.Lock()
+	e.fragCache = map[string]fragChoice{}
+	e.fragMu.Unlock()
+	return e
+}
+
+// WithShuffleCodec declares that intra-run shuffles travel over a compact
+// wire codec whose encoded size is ratio × the TSV rendering (pass
+// relation.DefaultColumnarRatio for the columnar codec, or a calibrated
+// ratio from the flight recorder's shuffle counters). Fragment PULL/PUSH
+// volumes on shuffle edges scale accordingly; sources and sinks stay at
+// full size since they remain TSV. A ratio outside (0,1] disables the
+// scaling. Scaled edges change fragment costs, so memoized choices drop.
+func (e *Estimator) WithShuffleCodec(ratio float64) *Estimator {
+	if ratio <= 0 || ratio > 1 {
+		ratio = 0
+	}
+	e.shuffleRatio = ratio
 	e.fragMu.Lock()
 	e.fragCache = map[string]fragChoice{}
 	e.fragMu.Unlock()
@@ -273,10 +295,22 @@ func (e *Estimator) FragmentCost(f *ir.Fragment, eng *engines.Engine) cluster.Se
 	}
 	v := engines.Volumes{}
 	for _, in := range f.ExtIn {
-		v.Pull += e.sizes[in]
+		s := e.sizes[in]
+		// Non-source external inputs were pushed by another job: under a
+		// compact shuffle codec they arrive at the scaled wire size.
+		if e.shuffleRatio > 0 && in.Type != ir.OpInput {
+			s = int64(float64(s) * e.shuffleRatio)
+		}
+		v.Pull += s
 	}
 	for _, out := range f.ExtOut {
-		v.Push += e.sizes[out]
+		s := e.sizes[out]
+		// Only outputs another job reads are shuffled compactly; workflow
+		// sinks are published as TSV at full size.
+		if e.shuffleRatio > 0 && f.ConsumedOutside(out) {
+			s = int64(float64(s) * e.shuffleRatio)
+		}
+		v.Push += s
 	}
 	e.addOpVolumes(&v, f.ComputeOps(), eng, 1)
 	return e.withRecovery(eng, len(f.ComputeOps()), eng.EstimateCost(e.Cluster, v))

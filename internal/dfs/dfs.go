@@ -31,6 +31,14 @@ type Stat struct {
 	PhysicalBytes int64
 	LogicalBytes  int64
 	Rows          int
+	// Codec is the wire format the file was encoded with.
+	Codec relation.Codec
+	// WireBytes is the I/O volume the file accounts for: the effective
+	// (logical-scaled) size under its codec. For TSV files this equals
+	// EffectiveBytes; for columnar files the logical volume is scaled down
+	// by the codec's encoded-vs-text ratio, so shuffles over the compact
+	// format genuinely cost less in the simulation.
+	WireBytes int64
 }
 
 // EffectiveBytes returns the logical size when set, else the physical size.
@@ -72,6 +80,8 @@ type file struct {
 	size    int64 // encoded byte length
 	logical int64
 	rows    int
+	codec   relation.Codec
+	wire    int64 // accounted I/O volume per read/write (see Stat.WireBytes)
 }
 
 // New returns an empty filesystem with the default block configuration.
@@ -103,13 +113,45 @@ func (d *DFS) Prefix() string { return strings.TrimSuffix(d.prefix, "/") }
 // resolve maps a view-relative path to its storage key.
 func (d *DFS) resolve(path string) string { return d.prefix + path }
 
-// WriteRelation encodes rel and stores it at path, replacing any previous
-// file. The relation's LogicalBytes travels with the file.
+// WriteRelation encodes rel as TSV and stores it at path, replacing any
+// previous file. The relation's LogicalBytes travels with the file.
 func (d *DFS) WriteRelation(path string, rel *relation.Relation) error {
+	_, err := d.WriteRelationCodec(path, rel, relation.CodecTSV)
+	return err
+}
+
+// WriteRelationCodec encodes rel with the requested wire codec and stores
+// it at path. The write is charged at the file's wire volume: TSV files
+// account their effective (logical-or-encoded) size exactly as before;
+// columnar files scale the effective size by the codec's encoded-vs-text
+// byte ratio, so intra-run shuffles over the compact format move fewer
+// simulated bytes.
+func (d *DFS) WriteRelationCodec(path string, rel *relation.Relation, codec relation.Codec) (Stat, error) {
 	if path == "" {
-		return fmt.Errorf("dfs: empty path")
+		return Stat{}, fmt.Errorf("dfs: empty path")
 	}
-	data := rel.EncodeBytes()
+	data := rel.EncodeCodec(codec, relation.CodecOptions{})
+	eff := rel.LogicalBytes
+	if eff <= 0 {
+		eff = int64(len(data))
+	}
+	wire := eff
+	if codec == relation.CodecColumnar {
+		// eff falls back to the encoded size above, which for columnar is
+		// already the compact wire size; a set logical size is scaled by
+		// the ratio of columnar bytes to the text rendering it replaces.
+		if phys := rel.PhysicalBytes(); rel.LogicalBytes > 0 && phys > 0 {
+			wire = int64(float64(rel.LogicalBytes) * float64(len(data)) / float64(phys))
+		}
+	}
+	st := Stat{
+		Path:          path,
+		PhysicalBytes: int64(len(data)),
+		LogicalBytes:  rel.LogicalBytes,
+		Rows:          rel.NumRows(),
+		Codec:         codec,
+		WireBytes:     wire,
+	}
 	d.st.mu.Lock()
 	defer d.st.mu.Unlock()
 	d.st.files[d.resolve(path)] = &file{
@@ -117,44 +159,47 @@ func (d *DFS) WriteRelation(path string, rel *relation.Relation) error {
 		size:    int64(len(data)),
 		logical: rel.LogicalBytes,
 		rows:    rel.NumRows(),
+		codec:   codec,
+		wire:    wire,
 	}
-	eff := rel.LogicalBytes
-	if eff <= 0 {
-		eff = int64(len(data))
-	}
-	d.st.bytesWritten += eff
-	return nil
+	d.st.bytesWritten += wire
+	return st, nil
 }
 
 // ReadRelation reassembles the file at path from healthy block replicas
 // (verifying checksums, skipping failed datanodes) and decodes it into a
 // relation named after the (view-relative) path.
 func (d *DFS) ReadRelation(path string) (*relation.Relation, error) {
+	rel, _, err := d.ReadRelationStat(path)
+	return rel, err
+}
+
+// ReadRelationStat is ReadRelation plus the file's metadata, letting
+// callers account the read at its codec-aware wire volume.
+func (d *DFS) ReadRelationStat(path string) (*relation.Relation, Stat, error) {
 	key := d.resolve(path)
 	d.st.mu.Lock()
 	f, ok := d.st.files[key]
+	var st Stat
 	var data []byte
 	var err error
 	if ok {
-		eff := f.logical
-		if eff <= 0 {
-			eff = f.size
-		}
-		d.st.bytesRead += eff
+		d.st.bytesRead += f.wire
+		st = Stat{Path: path, PhysicalBytes: f.size, LogicalBytes: f.logical, Rows: f.rows, Codec: f.codec, WireBytes: f.wire}
 		data, err = d.assemble(key, f.blocks)
 	}
 	d.st.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("dfs: no such file %q", key)
+		return nil, Stat{}, fmt.Errorf("dfs: no such file %q", key)
 	}
 	if err != nil {
-		return nil, err
+		return nil, Stat{}, err
 	}
 	rel, err := relation.DecodeBytes(path, data)
 	if err != nil {
-		return nil, fmt.Errorf("dfs: decode %q: %w", key, err)
+		return nil, Stat{}, fmt.Errorf("dfs: decode %q: %w", key, err)
 	}
-	return rel, nil
+	return rel, st, nil
 }
 
 // Stat returns metadata for path.
@@ -166,7 +211,7 @@ func (d *DFS) Stat(path string) (Stat, error) {
 	if !ok {
 		return Stat{}, fmt.Errorf("dfs: no such file %q", key)
 	}
-	return Stat{Path: path, PhysicalBytes: f.size, LogicalBytes: f.logical, Rows: f.rows}, nil
+	return Stat{Path: path, PhysicalBytes: f.size, LogicalBytes: f.logical, Rows: f.rows, Codec: f.codec, WireBytes: f.wire}, nil
 }
 
 // Exists reports whether path is stored.
@@ -215,7 +260,7 @@ func (d *DFS) Copy(from, to string) error {
 	if !ok {
 		return fmt.Errorf("dfs: no such file %q", fromKey)
 	}
-	d.st.files[d.resolve(to)] = &file{blocks: f.blocks, size: f.size, logical: f.logical, rows: f.rows}
+	d.st.files[d.resolve(to)] = &file{blocks: f.blocks, size: f.size, logical: f.logical, rows: f.rows, codec: f.codec, wire: f.wire}
 	return nil
 }
 

@@ -10,6 +10,7 @@ import (
 	"musketeer/internal/exec"
 	"musketeer/internal/ir"
 	"musketeer/internal/obs"
+	"musketeer/internal/relation"
 )
 
 // RunContext is the deployment a job executes on.
@@ -38,6 +39,14 @@ type RunContext struct {
 	Rec     *obs.Recorder
 	Span    *obs.Span
 	Metrics *obs.Registry
+	// ShuffleCodec selects the wire format for intra-run shuffles (fragment
+	// outputs consumed by other jobs of the same run). The zero value keeps
+	// everything TSV; workflow sources, published sinks, and loop
+	// temporaries stay TSV regardless.
+	ShuffleCodec relation.Codec
+	// DisableFusion turns off streaming operator fusion, materializing every
+	// intermediate relation (the benchmark baseline and an escape hatch).
+	DisableFusion bool
 }
 
 // Context returns the execution context, defaulting to Background.
@@ -175,18 +184,24 @@ func runPull(ctx RunContext, p *Plan, env exec.Env) (int64, int, *obs.Span, erro
 	var pullBytes int64
 	retries := 0
 	for i, in := range p.Frag.ExtIn {
-		rel, err := ctx.DFS.ReadRelation(InputPath(in))
+		rel, st, err := ctx.DFS.ReadRelationStat(InputPath(in))
 		if err != nil {
 			return 0, 0, sp, fmt.Errorf("%s: %w", p.Engine.Name(), err)
+		}
+		// Columnar shuffle files account at their compact wire volume; TSV
+		// files at the decoded relation's effective size, exactly as before.
+		b := rel.EffectiveBytes()
+		if st.Codec == relation.CodecColumnar {
+			b = st.WireBytes
 		}
 		if ctx.Chaos.FailsRead(p.Frag.Name(), ctx.Attempt, i) {
 			// The replica re-read moves the same bytes again.
 			retries++
-			pullBytes += rel.EffectiveBytes()
+			pullBytes += b
 		}
 		rel.Name = in.Out
 		env[in.Out] = rel
-		pullBytes += rel.EffectiveBytes()
+		pullBytes += b
 	}
 	if retries > 0 {
 		sp.SetInt("dfs_retries", int64(retries))
@@ -198,34 +213,38 @@ func runPull(ctx RunContext, p *Plan, env exec.Env) (int64, int, *obs.Span, erro
 }
 
 // runProcess evaluates the fragment's operators through the shared
-// kernels, recording the "process" phase span.
+// kernels, recording the "process" phase span. Eligible operator chains
+// fuse into streaming pipelines: only the fragment's external outputs must
+// materialize, so interior SELECT/PROJECT/ARITH/JOIN/AGG chains run as
+// single pull pipelines with no intermediate relations. The recorded trace
+// is identical either way (fuse.go reconstructs it), so plans, costs, and
+// golden traces do not depend on the fusion setting.
 func runProcess(ctx RunContext, p *Plan, env exec.Env) (*exec.Trace, *obs.Span, error) {
 	sp := ctx.Rec.StartSpan(ctx.Span, "process", "phase")
 	defer sp.End()
 	cctx := ctx.Context()
 	trace := exec.NewTrace()
+	extOut := make(map[*ir.Op]bool, len(p.Frag.ExtOut))
+	for _, op := range p.Frag.ExtOut {
+		extOut[op] = true
+	}
+	err := exec.RunOps(p.Frag.Ops, env, trace, exec.RunOptions{
+		Keep: func(op *ir.Op) bool { return extOut[op] },
+		// Cancellation is observed at execution-unit granularity: a
+		// cancelled multi-operator job stops between kernels/pipelines
+		// instead of running the whole fragment to completion.
+		Check:      cctx.Err,
+		SkipInputs: true,
+		NoFuse:     ctx.DisableFusion,
+	})
+	if err != nil {
+		return nil, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
+	}
 	ops := 0
 	for _, op := range p.Frag.Ops {
-		if op.Type == ir.OpInput {
-			continue
+		if op.Type != ir.OpInput {
+			ops++
 		}
-		// Cancellation is observed at operator granularity: a cancelled
-		// multi-operator job stops between kernels instead of running the
-		// whole fragment to completion.
-		if err := cctx.Err(); err != nil {
-			return nil, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
-		}
-		rel, err := exec.RunOp(op, env, trace)
-		if err != nil {
-			return nil, sp, fmt.Errorf("%s: job %s: %w", p.Engine.Name(), p.Frag.Name(), err)
-		}
-		env[op.Out] = rel
-		trace.OutBytes[op.ID] = rel.EffectiveBytes()
-		trace.OutRows[op.ID] = rel.NumRows()
-		if op.Type != ir.OpWhile {
-			trace.ProcBytes[op.ID] += rel.EffectiveBytes()
-		}
-		ops++
 	}
 	sp.SetInt("ops", int64(ops))
 	return trace, sp, nil
@@ -246,10 +265,30 @@ func runPush(ctx RunContext, p *Plan, env exec.Env) (int64, *obs.Span, error) {
 		if !ok {
 			return 0, sp, fmt.Errorf("%s: output %q not materialized", p.Engine.Name(), out.Out)
 		}
-		if err := ctx.DFS.WriteRelation(out.Out, rel); err != nil {
+		// Intra-run shuffles (outputs another job reads) may use the compact
+		// columnar wire format; sinks and loop temporaries stay TSV so
+		// published results and golden fixtures are untouched.
+		codec := relation.CodecTSV
+		if ctx.ShuffleCodec == relation.CodecColumnar && p.Frag.ConsumedOutside(out) {
+			codec = relation.CodecColumnar
+		}
+		st, err := ctx.DFS.WriteRelationCodec(out.Out, rel, codec)
+		if err != nil {
 			return 0, sp, err
 		}
-		pushBytes += rel.EffectiveBytes()
+		// Per-codec shuffle counters feed estimator calibration: the
+		// encoded-vs-logical ratio is what WithShuffleCodec scales by.
+		if codec == relation.CodecColumnar {
+			pushBytes += st.WireBytes
+			ctx.Metrics.Counter("shuffle_codec_columnar_total").Add(1)
+			ctx.Metrics.Counter("shuffle_columnar_encoded_bytes_total").Add(st.PhysicalBytes)
+			ctx.Metrics.Counter("shuffle_columnar_logical_bytes_total").Add(rel.EffectiveBytes())
+		} else {
+			pushBytes += rel.EffectiveBytes()
+			ctx.Metrics.Counter("shuffle_codec_tsv_total").Add(1)
+			ctx.Metrics.Counter("shuffle_tsv_encoded_bytes_total").Add(st.PhysicalBytes)
+			ctx.Metrics.Counter("shuffle_tsv_logical_bytes_total").Add(rel.EffectiveBytes())
+		}
 	}
 	sp.SetInt("bytes", pushBytes)
 	sp.SetInt("outputs", int64(len(p.Frag.ExtOut)))

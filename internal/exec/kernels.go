@@ -256,32 +256,49 @@ func allCols(r *relation.Relation) []int {
 	return cols
 }
 
-func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) error {
-	l, r := inputs[0], inputs[1]
-	lIdx := make([]int, len(op.Params.LeftCols))
+// joinSpec is a join's resolved column indexes: probe keys, build keys, and
+// the build-side columns the output keeps. Shared by the materialized kernel
+// and the streaming probe stage so both resolve (and fail) identically.
+type joinSpec struct {
+	lIdx, rIdx, rKeep []int
+}
+
+func resolveJoinSpec(op *ir.Op, l, r relation.Schema) (joinSpec, error) {
+	var js joinSpec
+	js.lIdx = make([]int, len(op.Params.LeftCols))
 	for i, c := range op.Params.LeftCols {
-		j := l.Schema.Index(c)
+		j := l.Index(c)
 		if j < 0 {
-			return fmt.Errorf("exec: %s: unknown left key %q", op, c)
+			return js, fmt.Errorf("exec: %s: unknown left key %q", op, c)
 		}
-		lIdx[i] = j
+		js.lIdx[i] = j
 	}
-	rIdx := make([]int, len(op.Params.RightCols))
+	js.rIdx = make([]int, len(op.Params.RightCols))
 	rKeyCol := make(map[int]bool)
 	for i, c := range op.Params.RightCols {
-		j := r.Schema.Index(c)
+		j := r.Index(c)
 		if j < 0 {
-			return fmt.Errorf("exec: %s: unknown right key %q", op, c)
+			return js, fmt.Errorf("exec: %s: unknown right key %q", op, c)
 		}
-		rIdx[i] = j
+		js.rIdx[i] = j
 		rKeyCol[j] = true
 	}
-	rKeep := make([]int, 0, r.Schema.Arity())
-	for i := 0; i < r.Schema.Arity(); i++ {
+	js.rKeep = make([]int, 0, r.Arity())
+	for i := 0; i < r.Arity(); i++ {
 		if !rKeyCol[i] {
-			rKeep = append(rKeep, i)
+			js.rKeep = append(js.rKeep, i)
 		}
 	}
+	return js, nil
+}
+
+func evalJoin(op *ir.Op, inputs []*relation.Relation, out *relation.Relation) error {
+	l, r := inputs[0], inputs[1]
+	js, err := resolveJoinSpec(op, l.Schema, r.Schema)
+	if err != nil {
+		return err
+	}
+	lIdx, rIdx, rKeep := js.lIdx, js.rIdx, js.rKeep
 	// Hash join: build on the right input, probe with the left. Keys are
 	// 64-bit maphashes verified against the encoded key bytes, so neither
 	// build nor probe allocates a per-row key string. Probing is
@@ -393,41 +410,44 @@ func (st *aggState) merge(o *aggState) {
 	}
 }
 
-func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
-	gIdx := make([]int, len(op.Params.GroupBy))
+// aggSpec is an aggregation's resolved column indexes: group-by columns and
+// one aggregated column per AggSpec (-1 for COUNT). Shared by the
+// materialized kernel and the streaming aggregation sink.
+type aggSpec struct {
+	gIdx, aIdx []int
+}
+
+func resolveAggSpec(op *ir.Op, in relation.Schema) (aggSpec, error) {
+	var sp aggSpec
+	sp.gIdx = make([]int, len(op.Params.GroupBy))
 	for i, c := range op.Params.GroupBy {
-		j := in.Schema.Index(c)
+		j := in.Index(c)
 		if j < 0 {
-			return fmt.Errorf("exec: %s: unknown group-by column %q", op, c)
+			return sp, fmt.Errorf("exec: %s: unknown group-by column %q", op, c)
 		}
-		gIdx[i] = j
+		sp.gIdx[i] = j
 	}
-	aIdx := make([]int, len(op.Params.Aggs))
+	sp.aIdx = make([]int, len(op.Params.Aggs))
 	for i, a := range op.Params.Aggs {
 		if a.Func == ir.AggCount {
-			aIdx[i] = -1
+			sp.aIdx[i] = -1
 			continue
 		}
-		j := in.Schema.Index(a.Col)
+		j := in.Index(a.Col)
 		if j < 0 {
-			return fmt.Errorf("exec: %s: unknown aggregation column %q", op, a.Col)
+			return sp, fmt.Errorf("exec: %s: unknown aggregation column %q", op, a.Col)
 		}
-		aIdx[i] = j
+		sp.aIdx[i] = j
 	}
-	// Combiner-style evaluation: every supported aggregator is associative
-	// once AVG is decomposed into SUM+COUNT (the decomposition Musketeer's
-	// generated GROUP BY uses, §6.2), so large inputs aggregate per chunk
-	// in parallel and the partial states merge.
-	var table *aggTable
-	if len(in.Rows) >= ParallelThreshold {
-		table = parallelAggregate(in.Rows, gIdx, aIdx)
-	} else {
-		table = aggregateChunk(in.Rows, gIdx, aIdx)
-	}
-	// An empty-group-by aggregation over an empty input still yields one
-	// row of zeros/identities in SQL semantics; we match that so AVG/COUNT
-	// pipelines stay total.
-	if len(in.Rows) == 0 && len(gIdx) == 0 {
+	return sp, nil
+}
+
+// emitAggRows renders a fully-accumulated aggregation table into out.
+// inRows is the number of input rows the table saw: an empty-group-by
+// aggregation over an empty input still yields one row of zeros/identities
+// in SQL semantics, so AVG/COUNT pipelines stay total.
+func emitAggRows(op *ir.Op, in relation.Schema, sp aggSpec, table *aggTable, inRows int, out *relation.Relation) {
+	if inRows == 0 && len(sp.gIdx) == 0 {
 		row := make(relation.Row, len(op.Params.Aggs))
 		for i, a := range op.Params.Aggs {
 			if a.Func == ir.AggCount {
@@ -437,12 +457,12 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 			}
 		}
 		out.Rows = append(out.Rows, row)
-		return nil
+		return
 	}
 	out.Rows = make([]relation.Row, 0, len(table.order))
 	for _, e := range table.order {
 		st := e.st
-		row := make(relation.Row, 0, len(gIdx)+len(op.Params.Aggs))
+		row := make(relation.Row, 0, len(sp.gIdx)+len(op.Params.Aggs))
 		row = append(row, st.key...)
 		for i, a := range op.Params.Aggs {
 			switch a.Func {
@@ -451,7 +471,7 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 			case ir.AggSum:
 				v := st.sum[i]
 				// Keep integer sums integral.
-				if j := aIdx[i]; j >= 0 && in.Schema.Cols[j].Kind == relation.KindInt {
+				if j := sp.aIdx[i]; j >= 0 && in.Cols[j].Kind == relation.KindInt {
 					v = relation.Int(int64(v.AsFloat()))
 				}
 				row = append(row, v)
@@ -469,6 +489,24 @@ func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
 		}
 		out.Rows = append(out.Rows, row)
 	}
+}
+
+func evalAgg(op *ir.Op, in *relation.Relation, out *relation.Relation) error {
+	sp, err := resolveAggSpec(op, in.Schema)
+	if err != nil {
+		return err
+	}
+	// Combiner-style evaluation: every supported aggregator is associative
+	// once AVG is decomposed into SUM+COUNT (the decomposition Musketeer's
+	// generated GROUP BY uses, §6.2), so large inputs aggregate per chunk
+	// in parallel and the partial states merge.
+	var table *aggTable
+	if len(in.Rows) >= ParallelThreshold {
+		table = parallelAggregate(in.Rows, sp.gIdx, sp.aIdx)
+	} else {
+		table = aggregateChunk(in.Rows, sp.gIdx, sp.aIdx)
+	}
+	emitAggRows(op, in.Schema, sp, table, len(in.Rows), out)
 	return nil
 }
 

@@ -103,19 +103,12 @@ func RunDAG(d *ir.DAG, env Env) (Env, *Trace, error) {
 	}
 	env = env.Clone()
 	trace := newTrace()
-	for _, op := range ops {
-		rel, err := RunOp(op, env, trace)
-		if err != nil {
-			return nil, nil, err
-		}
-		env[op.Out] = rel
-		trace.OutBytes[op.ID] = rel.EffectiveBytes()
-		trace.OutRows[op.ID] = rel.NumRows()
-		if op.Type != ir.OpInput && op.Type != ir.OpWhile {
-			// PROCESS volume covers produced data too: materializing a
-			// generative operator's output is real work.
-			trace.ProcBytes[op.ID] += rel.EffectiveBytes()
-		}
+	// RunDAG's contract is that every operator's result is readable from the
+	// returned environment, so nothing may be elided here: fusion runs where
+	// intermediates are known to be private — engine fragments (RunOps with
+	// a Keep set) and WHILE bodies.
+	if err := RunOps(ops, env, trace, RunOptions{NoFuse: true}); err != nil {
+		return nil, nil, err
 	}
 	return env, trace, nil
 }
@@ -157,6 +150,14 @@ func RunOp(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
 // DAG expansion" of paper §4.2 — each iteration is a fresh evaluation of
 // the body against an updated environment.
 func RunWhile(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
+	return runWhile(op, env, trace, RunOptions{})
+}
+
+// runWhile implements RunWhile with evaluation options threaded through.
+// Body iterations fuse eligible operator chains: only loop-carried
+// relations, the stop-condition relation, and the result relation are read
+// between iterations, so everything else streams.
+func runWhile(op *ir.Op, env Env, trace *Trace, opts RunOptions) (*relation.Relation, error) {
 	body := op.Params.Body
 	if body == nil {
 		return nil, fmt.Errorf("exec: %s: WHILE without body", op)
@@ -177,6 +178,23 @@ func RunWhile(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
 		}
 		loopEnv[bop.Out] = rel
 	}
+	bodyOps, err := body.TopoSort()
+	if err != nil {
+		return nil, err
+	}
+	keepNames := map[string]bool{op.ResultRelation(): true}
+	for _, outName := range op.Params.Carried {
+		keepNames[outName] = true
+	}
+	if op.Params.CondRel != "" {
+		keepNames[op.Params.CondRel] = true
+	}
+	bodyOpts := RunOptions{
+		Keep:      func(bop *ir.Op) bool { return keepNames[bop.Out] },
+		BatchRows: opts.BatchRows,
+		Check:     opts.Check,
+		NoFuse:    opts.NoFuse,
+	}
 	maxIter := op.Params.MaxIter
 	if maxIter <= 0 {
 		maxIter = 1 << 20 // condition-only loop; CondRel must terminate it
@@ -185,8 +203,9 @@ func RunWhile(op *ir.Op, env Env, trace *Trace) (*relation.Relation, error) {
 	converged := op.Params.CondRel == "" // bounded loops terminate by cap
 	var lastOut Env
 	for ; iters < maxIter; iters++ {
-		outEnv, bodyTrace, err := RunDAG(body, loopEnv)
-		if err != nil {
+		outEnv := loopEnv.Clone()
+		bodyTrace := newTrace()
+		if err := RunOps(bodyOps, outEnv, bodyTrace, bodyOpts); err != nil {
 			return nil, fmt.Errorf("exec: %s iteration %d: %w", op, iters+1, err)
 		}
 		trace.Merge(bodyTrace)

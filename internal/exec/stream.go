@@ -1,0 +1,354 @@
+package exec
+
+import (
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// This file holds the streaming operator kernels: relation.RowSource stages
+// that a fused chain composes into a single pull pipeline (see fuse.go for
+// chain planning and the driver). Each stage consumes its upstream via the
+// iterator interface only and reuses its output buffers across batches, so a
+// fused SELECT→PROJECT→AGG chain runs with no per-row allocation and no
+// materialized intermediates.
+
+// accTap accumulates the row count and physical byte size of the rows an
+// elided stage emits. The byte computation matches
+// relation.Relation.PhysicalBytes exactly, which is what lets the fused
+// driver reconstruct the same trace a materialized evaluation records.
+type accTap struct {
+	rows    int
+	phys    int64
+	scratch []byte
+}
+
+func (a *accTap) addRow(row relation.Row) {
+	a.rows++
+	for _, v := range row {
+		if v.Kind == relation.KindString {
+			a.phys += int64(len(v.S)) + 1 // field + separator/newline
+			continue
+		}
+		a.scratch = v.AppendText(a.scratch[:0])
+		a.phys += int64(len(a.scratch)) + 1
+	}
+}
+
+// valArena hands out value storage for constructing stages. A reusable
+// arena recycles one backing slice across batches; a fresh arena allocates
+// per batch, which the last constructing stage before a materializing
+// terminal needs because its rows escape the pipeline.
+type valArena struct {
+	fresh bool
+	vals  []relation.Value
+}
+
+func (a *valArena) take(n int) []relation.Value {
+	if a.fresh {
+		return make([]relation.Value, n)
+	}
+	if cap(a.vals) < n {
+		a.vals = make([]relation.Value, n)
+	}
+	return a.vals[:n]
+}
+
+// scanSource is the head of a fused pipeline. It scans a row range and
+// applies the chain's leading SELECT predicates (predicate pushdown) and an
+// immediately following PROJECT (projection pushdown) during the scan
+// itself, so filtered-out rows are never copied and surviving rows are
+// narrowed before any downstream stage sees them.
+type scanSource struct {
+	in        []relation.Row
+	inSch     relation.Schema
+	sch       relation.Schema // post-projection schema
+	batchRows int
+	pos       int
+
+	preds    []*ir.Pred
+	predTaps []*accTap // aligned with preds; nil entries are unmetered
+
+	proj    []int // projection indexes; nil when no PROJECT folded in
+	projTap *accTap
+	ar      valArena
+
+	out []relation.Row
+}
+
+func (s *scanSource) Schema() relation.Schema { return s.sch }
+
+func (s *scanSource) Next() (relation.Batch, error) {
+	n := s.batchRows
+	if n <= 0 {
+		n = relation.DefaultBatchRows
+	}
+	for s.pos < len(s.in) {
+		hi := s.pos + n
+		if hi > len(s.in) {
+			hi = len(s.in)
+		}
+		scan := s.in[s.pos:hi]
+		s.pos = hi
+		s.out = s.out[:0]
+		for _, row := range scan {
+			keep := true
+			for pi, p := range s.preds {
+				ok, err := EvalPred(p, s.inSch, row)
+				if err != nil {
+					return relation.Batch{}, err
+				}
+				if !ok {
+					keep = false
+					break
+				}
+				// The tap meters this SELECT's own output: rows it passes,
+				// even ones a later pushed-down predicate drops.
+				if t := s.predTaps[pi]; t != nil {
+					t.addRow(row)
+				}
+			}
+			if keep {
+				s.out = append(s.out, row)
+			}
+		}
+		if len(s.out) == 0 {
+			continue
+		}
+		if s.proj == nil {
+			return relation.Batch{Rows: s.out}, nil
+		}
+		arity := len(s.proj)
+		vals := s.ar.take(len(s.out) * arity)
+		for i, row := range s.out {
+			nr := relation.Row(vals[:arity:arity])
+			vals = vals[arity:]
+			for k, j := range s.proj {
+				nr[k] = row[j]
+			}
+			if s.projTap != nil {
+				s.projTap.addRow(nr)
+			}
+			s.out[i] = nr
+		}
+		return relation.Batch{Rows: s.out}, nil
+	}
+	return relation.Batch{}, nil
+}
+
+// selectStage filters an upstream source. Rows pass through by reference;
+// the stage owns only the batch header slice.
+type selectStage struct {
+	src  relation.RowSource
+	sch  relation.Schema
+	pred *ir.Pred
+	tap  *accTap
+	out  []relation.Row
+}
+
+func (s *selectStage) Schema() relation.Schema { return s.sch }
+
+func (s *selectStage) Next() (relation.Batch, error) {
+	for {
+		b, err := s.src.Next()
+		if err != nil || b.Empty() {
+			return relation.Batch{}, err
+		}
+		s.out = s.out[:0]
+		for _, row := range b.Rows {
+			ok, err := EvalPred(s.pred, s.sch, row)
+			if err != nil {
+				return relation.Batch{}, err
+			}
+			if ok {
+				if s.tap != nil {
+					s.tap.addRow(row)
+				}
+				s.out = append(s.out, row)
+			}
+		}
+		if len(s.out) > 0 {
+			return relation.Batch{Rows: s.out}, nil
+		}
+	}
+}
+
+// projectStage narrows rows to a column subset, copying values into its
+// arena (value structs are copied, so outputs never alias upstream storage).
+type projectStage struct {
+	src relation.RowSource
+	sch relation.Schema
+	idx []int
+	tap *accTap
+	ar  valArena
+	out []relation.Row
+}
+
+func (p *projectStage) Schema() relation.Schema { return p.sch }
+
+func (p *projectStage) Next() (relation.Batch, error) {
+	b, err := p.src.Next()
+	if err != nil || b.Empty() {
+		return relation.Batch{}, err
+	}
+	arity := len(p.idx)
+	vals := p.ar.take(len(b.Rows) * arity)
+	p.out = p.out[:0]
+	for _, row := range b.Rows {
+		nr := relation.Row(vals[:arity:arity])
+		vals = vals[arity:]
+		for k, j := range p.idx {
+			nr[k] = row[j]
+		}
+		if p.tap != nil {
+			p.tap.addRow(nr)
+		}
+		p.out = append(p.out, nr)
+	}
+	return relation.Batch{Rows: p.out}, nil
+}
+
+// arithStage computes a derived column per row, in place of dstIdx or
+// appended when dstIdx is negative.
+type arithStage struct {
+	src    relation.RowSource
+	inSch  relation.Schema
+	sch    relation.Schema
+	op     *ir.Op
+	dstIdx int
+	tap    *accTap
+	ar     valArena
+	out    []relation.Row
+}
+
+func (a *arithStage) Schema() relation.Schema { return a.sch }
+
+func (a *arithStage) Next() (relation.Batch, error) {
+	b, err := a.src.Next()
+	if err != nil || b.Empty() {
+		return relation.Batch{}, err
+	}
+	arity := a.inSch.Arity()
+	if a.dstIdx < 0 {
+		arity++
+	}
+	vals := a.ar.take(len(b.Rows) * arity)
+	a.out = a.out[:0]
+	for _, row := range b.Rows {
+		l, err := operandValue(a.op.Params.ALeft, a.inSch, row)
+		if err != nil {
+			return relation.Batch{}, err
+		}
+		r, err := operandValue(a.op.Params.ARght, a.inSch, row)
+		if err != nil {
+			return relation.Batch{}, err
+		}
+		v := a.op.Params.AOp.Apply(l, r)
+		nr := relation.Row(vals[:arity:arity])
+		vals = vals[arity:]
+		copy(nr, row)
+		if a.dstIdx >= 0 {
+			nr[a.dstIdx] = v
+		} else {
+			nr[arity-1] = v
+		}
+		if a.tap != nil {
+			a.tap.addRow(nr)
+		}
+		a.out = append(a.out, nr)
+	}
+	return relation.Batch{Rows: a.out}, nil
+}
+
+// joinProbeStage probes a pre-built hash-join table with the streaming
+// (left) side, emitting left-row ++ kept-right-column rows. The build table
+// is read-only and may be shared across concurrent pipeline instances; each
+// stage hashes through its own KeyHasher.
+type joinProbeStage struct {
+	src     relation.RowSource
+	sch     relation.Schema
+	lIdx    []int
+	rKeep   []int
+	build   *joinTable
+	h       relation.KeyHasher
+	tap     *accTap
+	ar      valArena
+	out     []relation.Row
+	matches [][]relation.Row
+}
+
+func (j *joinProbeStage) Schema() relation.Schema { return j.sch }
+
+func (j *joinProbeStage) Next() (relation.Batch, error) {
+	for {
+		b, err := j.src.Next()
+		if err != nil || b.Empty() {
+			return relation.Batch{}, err
+		}
+		total := 0
+		j.matches = j.matches[:0]
+		for _, lr := range b.Rows {
+			m := j.build.probe(&j.h, lr, j.lIdx)
+			j.matches = append(j.matches, m)
+			total += len(m)
+		}
+		if total == 0 {
+			continue
+		}
+		arity := j.sch.Arity()
+		vals := j.ar.take(total * arity)
+		j.out = j.out[:0]
+		for i, lr := range b.Rows {
+			for _, rr := range j.matches[i] {
+				nr := relation.Row(vals[:arity:arity])
+				vals = vals[arity:]
+				copy(nr, lr)
+				k := len(lr)
+				for _, c := range j.rKeep {
+					nr[k] = rr[c]
+					k++
+				}
+				if j.tap != nil {
+					j.tap.addRow(nr)
+				}
+				j.out = append(j.out, nr)
+			}
+		}
+		return relation.Batch{Rows: j.out}, nil
+	}
+}
+
+// drainAgg is the aggregation sink: it folds every upstream row into the
+// table (which copies the values it keeps) and reports how many rows it
+// consumed.
+func drainAgg(src relation.RowSource, table *aggTable, gIdx, aIdx []int) (int, error) {
+	rows := 0
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return rows, err
+		}
+		if b.Empty() {
+			return rows, nil
+		}
+		for _, row := range b.Rows {
+			table.state(row, gIdx, aIdx).accumulate(row, aIdx)
+		}
+		rows += len(b.Rows)
+	}
+}
+
+// drainRows is the materializing sink: it appends every batch's row headers
+// to dst (the final constructing stage allocates fresh value storage, so
+// the appended rows are durable).
+func drainRows(src relation.RowSource, dst []relation.Row) ([]relation.Row, error) {
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b.Empty() {
+			return dst, nil
+		}
+		dst = append(dst, b.Rows...)
+	}
+}

@@ -1,0 +1,54 @@
+package exec
+
+import (
+	"testing"
+
+	"musketeer/internal/ir"
+	"musketeer/internal/relation"
+)
+
+// BenchmarkStream* pit the fused batch pipeline against operator-at-a-time
+// materialization on the same SELECT→PROJECT→AGG chain. The B/op column is
+// the interesting one: the fused path must not materialize the SELECT and
+// PROJECT intermediates. mkbenchgate gates time, allocs, and bytes.
+
+func streamBenchOps(b *testing.B) []*ir.Op {
+	b.Helper()
+	d := ir.NewDAG()
+	in := d.AddInput("events", "in/events", relation.NewSchema("k:int", "v:int", "w:float"))
+	sel := d.Add(ir.OpSelect, "hot", ir.Params{Pred: ir.Cmp(ir.ColRef("v"), ir.CmpGt, ir.LitOp(relation.Int(2)))}, in)
+	proj := d.Add(ir.OpProject, "slim", ir.Params{Columns: []string{"k", "v"}}, sel)
+	d.Add(ir.OpAgg, "by_k", ir.Params{GroupBy: []string{"k"}, Aggs: []ir.AggSpec{{Func: ir.AggSum, Col: "v", As: "total"}}}, proj)
+	if err := d.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	ops, err := d.TopoSort()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ops
+}
+
+func benchStreamChain(b *testing.B, opts RunOptions) {
+	ops := streamBenchOps(b)
+	input := benchRelation(100_000, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := Env{"in/events": input}
+		if err := RunOps(ops, env, NewTrace(), opts); err != nil {
+			b.Fatal(err)
+		}
+		if out := env["by_k"]; out == nil || out.NumRows() == 0 {
+			b.Fatal("chain produced no output")
+		}
+	}
+}
+
+func BenchmarkStreamFusedChain(b *testing.B) {
+	benchStreamChain(b, RunOptions{Keep: func(op *ir.Op) bool { return op.Out == "by_k" }})
+}
+
+func BenchmarkStreamMaterializedChain(b *testing.B) {
+	benchStreamChain(b, RunOptions{NoFuse: true})
+}

@@ -116,6 +116,23 @@ func (f *Fragment) ForceOutput(op *Op) error {
 	return nil
 }
 
+// ConsumedOutside reports whether some operator outside the fragment reads
+// op's output. External outputs that are pure workflow sinks (no consumer
+// anywhere) return false — they are published for the user, not shuffled to
+// another job, which is what lets engines choose a compact wire codec for
+// true intra-run shuffles while sinks stay TSV.
+func (f *Fragment) ConsumedOutside(op *Op) bool {
+	if f.dag == nil {
+		return false
+	}
+	for _, c := range f.dag.Consumers()[op] {
+		if !f.Contains(c) {
+			return true
+		}
+	}
+	return false
+}
+
 // Contains reports membership.
 func (f *Fragment) Contains(op *Op) bool {
 	for _, o := range f.Ops {

@@ -26,39 +26,55 @@ func codecRelation(rows int) *Relation {
 	return r
 }
 
+var (
+	forceSerial   = CodecOptions{ParallelThreshold: 1 << 30}
+	forceParallel = CodecOptions{ParallelThreshold: 1}
+)
+
 // TestParallelCodecMatchesSerial forces the chunk-parallel Encode/DecodeBytes
 // paths on small data and checks they are byte- and row-identical to the
-// serial paths.
+// serial paths. Thresholds are per-call options, so this runs in parallel
+// with every other codec test without racing on package state.
 func TestParallelCodecMatchesSerial(t *testing.T) {
+	t.Parallel()
 	r := codecRelation(500)
-	old := CodecParallelThreshold
-	defer func() { CodecParallelThreshold = old }()
 
-	CodecParallelThreshold = 1 << 30 // force serial
-	serial := r.EncodeBytes()
-
-	CodecParallelThreshold = 1 // force parallel
-	parallel := r.EncodeBytes()
+	serial := r.EncodeBytesOpts(forceSerial)
+	parallel := r.EncodeBytesOpts(forceParallel)
 	if !bytes.Equal(serial, parallel) {
 		t.Fatal("parallel Encode produced different bytes than serial")
 	}
 
-	dec, err := DecodeBytes("t", serial)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(dec.Rows) != len(r.Rows) {
-		t.Fatalf("decoded %d rows, want %d", len(dec.Rows), len(r.Rows))
-	}
-	for i := range r.Rows {
-		for j := range r.Rows[i] {
-			if !dec.Rows[i][j].Equal(r.Rows[i][j]) {
-				t.Fatalf("row %d col %d: %v != %v", i, j, dec.Rows[i][j], r.Rows[i][j])
+	for name, opts := range map[string]CodecOptions{"serial": forceSerial, "parallel": forceParallel} {
+		dec, err := DecodeBytesOpts("t", serial, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec.Rows) != len(r.Rows) {
+			t.Fatalf("%s: decoded %d rows, want %d", name, len(dec.Rows), len(r.Rows))
+		}
+		for i := range r.Rows {
+			for j := range r.Rows[i] {
+				if !dec.Rows[i][j].Equal(r.Rows[i][j]) {
+					t.Fatalf("%s: row %d col %d: %v != %v", name, i, j, dec.Rows[i][j], r.Rows[i][j])
+				}
 			}
 		}
+		if dec.LogicalBytes != r.LogicalBytes {
+			t.Errorf("%s: logical bytes %d != %d", name, dec.LogicalBytes, r.LogicalBytes)
+		}
 	}
-	if dec.LogicalBytes != r.LogicalBytes {
-		t.Errorf("logical bytes %d != %d", dec.LogicalBytes, r.LogicalBytes)
+}
+
+// TestCodecOptionsDefaultThreshold pins that a zero CodecOptions falls back
+// to the package default.
+func TestCodecOptionsDefaultThreshold(t *testing.T) {
+	t.Parallel()
+	if got := (CodecOptions{}).threshold(); got != CodecParallelThreshold {
+		t.Fatalf("zero options threshold = %d, want %d", got, CodecParallelThreshold)
+	}
+	if got := (CodecOptions{ParallelThreshold: 3}).threshold(); got != 3 {
+		t.Fatalf("explicit threshold = %d, want 3", got)
 	}
 }
 
@@ -90,39 +106,49 @@ func BenchmarkRowKey(b *testing.B) {
 }
 
 // BenchmarkEncodeDecode measures the TSV codecs serially and chunk-parallel
-// on the same 20k-row relation.
+// on the same 20k-row relation, plus the columnar codec for comparison.
 func BenchmarkEncodeDecode(b *testing.B) {
 	r := codecRelation(20000)
 	enc := r.EncodeBytes()
-	run := func(name string, threshold int, fn func(b *testing.B)) {
+	col := r.EncodeColumnar(CodecOptions{})
+	run := func(name string, opts CodecOptions, fn func(b *testing.B, opts CodecOptions)) {
 		b.Run(name, func(b *testing.B) {
-			old := CodecParallelThreshold
-			CodecParallelThreshold = threshold
-			defer func() { CodecParallelThreshold = old }()
 			b.ReportAllocs()
-			fn(b)
+			fn(b, opts)
 		})
 	}
-	run("encode-serial", 1<<30, func(b *testing.B) {
+	run("encode-serial", forceSerial, func(b *testing.B, opts CodecOptions) {
 		for i := 0; i < b.N; i++ {
-			_ = r.EncodeBytes()
+			_ = r.EncodeBytesOpts(opts)
 		}
 	})
-	run("encode-parallel", 1, func(b *testing.B) {
+	run("encode-parallel", forceParallel, func(b *testing.B, opts CodecOptions) {
 		for i := 0; i < b.N; i++ {
-			_ = r.EncodeBytes()
+			_ = r.EncodeBytesOpts(opts)
 		}
 	})
-	run("decode-serial", 1<<30, func(b *testing.B) {
+	run("decode-serial", forceSerial, func(b *testing.B, opts CodecOptions) {
 		for i := 0; i < b.N; i++ {
-			if _, err := DecodeBytes("t", enc); err != nil {
+			if _, err := DecodeBytesOpts("t", enc, opts); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	run("decode-parallel", 1, func(b *testing.B) {
+	run("decode-parallel", forceParallel, func(b *testing.B, opts CodecOptions) {
 		for i := 0; i < b.N; i++ {
-			if _, err := DecodeBytes("t", enc); err != nil {
+			if _, err := DecodeBytesOpts("t", enc, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("encode-columnar", forceSerial, func(b *testing.B, opts CodecOptions) {
+		for i := 0; i < b.N; i++ {
+			_ = r.EncodeColumnar(opts)
+		}
+	})
+	run("decode-columnar", forceSerial, func(b *testing.B, opts CodecOptions) {
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBytesOpts("t", col, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -206,14 +206,32 @@ func (r *Relation) ScaleRatio() float64 {
 	return float64(r.LogicalBytes) / float64(phys)
 }
 
-// CodecParallelThreshold is the row count above which Encode and DecodeBytes
+// CodecParallelThreshold is the default row count above which the codecs
 // split row work across goroutines. Materializing intermediates on the DFS
 // between (simulated) Hadoop jobs funnels through these codecs, so large
 // relations encode/decode chunk-parallel; the chunk outputs are concatenated
 // in input order, so the byte stream and decoded row order are identical to
-// the serial paths. Tests lower it to exercise the parallel code on small
-// data.
+// the serial paths. Callers (and tests, which force both paths on small
+// data) override it per call via CodecOptions rather than mutating this
+// package global.
 var CodecParallelThreshold = 8192
+
+// CodecOptions parameterizes one codec invocation.
+type CodecOptions struct {
+	// ParallelThreshold is the row count at or above which this call uses
+	// the chunk-parallel path. Zero selects the package default
+	// (CodecParallelThreshold); a value above the row count forces the
+	// serial path, 1 forces the parallel path.
+	ParallelThreshold int
+}
+
+// threshold resolves the effective parallel threshold for a call.
+func (o CodecOptions) threshold() int {
+	if o.ParallelThreshold > 0 {
+		return o.ParallelThreshold
+	}
+	return CodecParallelThreshold
+}
 
 // codecChunks splits [0, n) into roughly GOMAXPROCS contiguous ranges,
 // folding a tiny trailing remainder into the previous range.
@@ -261,9 +279,14 @@ func appendTSVRow(dst []byte, row Row) []byte {
 //	#logical	<bytes>
 //
 // Rows are rendered with AppendText into buffers (no per-field string
-// allocation); above CodecParallelThreshold the row chunks encode
+// allocation); above the parallel threshold the row chunks encode
 // concurrently and are written out in order.
 func (r *Relation) Encode(w io.Writer) error {
+	return r.EncodeOpts(w, CodecOptions{})
+}
+
+// EncodeOpts is Encode with per-call codec options.
+func (r *Relation) EncodeOpts(w io.Writer, o CodecOptions) error {
 	buf := make([]byte, 0, 256)
 	buf = append(buf, "#schema"...)
 	for _, c := range r.Schema.Cols {
@@ -276,7 +299,7 @@ func (r *Relation) Encode(w io.Writer) error {
 	buf = append(buf, "#logical\t"...)
 	buf = strconv.AppendInt(buf, r.LogicalBytes, 10)
 	buf = append(buf, '\n')
-	if len(r.Rows) >= CodecParallelThreshold {
+	if len(r.Rows) >= o.threshold() {
 		chunks := codecChunks(len(r.Rows))
 		encoded := make([][]byte, len(chunks))
 		var wg sync.WaitGroup
@@ -321,8 +344,13 @@ func (r *Relation) Encode(w io.Writer) error {
 
 // EncodeBytes returns the Encode output as a byte slice.
 func (r *Relation) EncodeBytes() []byte {
+	return r.EncodeBytesOpts(CodecOptions{})
+}
+
+// EncodeBytesOpts is EncodeBytes with per-call codec options.
+func (r *Relation) EncodeBytesOpts(o CodecOptions) []byte {
 	var buf bytes.Buffer
-	if err := r.Encode(&buf); err != nil {
+	if err := r.EncodeOpts(&buf, o); err != nil {
 		panic(err) // bytes.Buffer cannot fail
 	}
 	return buf.Bytes()
@@ -380,11 +408,21 @@ func Decode(name string, rd io.Reader) (*Relation, error) {
 	return rel, sc.Err()
 }
 
-// DecodeBytes parses an EncodeBytes output. It is the DFS read path: unlike
-// the streaming Decode it can chunk the row section by newline boundaries
-// and parse the chunks concurrently (above CodecParallelThreshold), keeping
-// decoded row order identical to the serial scan.
+// DecodeBytes parses an EncodeBytes or EncodeColumnar output, sniffing the
+// codec from the stream's leading bytes. It is the DFS read path: unlike
+// the streaming Decode it can chunk the TSV row section by newline
+// boundaries (or the columnar stream by column block) and parse chunks
+// concurrently above the parallel threshold, keeping decoded row order
+// identical to the serial scan.
 func DecodeBytes(name string, data []byte) (*Relation, error) {
+	return DecodeBytesOpts(name, data, CodecOptions{})
+}
+
+// DecodeBytesOpts is DecodeBytes with per-call codec options.
+func DecodeBytesOpts(name string, data []byte, o CodecOptions) (*Relation, error) {
+	if SniffCodec(data) == CodecColumnar {
+		return DecodeColumnar(name, data, o)
+	}
 	head, rest, ok := bytes.Cut(data, []byte{'\n'})
 	if !ok && len(data) == 0 {
 		return nil, fmt.Errorf("relation %s: empty stream", name)
@@ -420,7 +458,7 @@ func DecodeBytes(name string, data []byte) (*Relation, error) {
 	}
 	rel.LogicalBytes = logical
 	// Cheap row estimate decides whether chunked parallel parsing pays off.
-	if bytes.Count(body, []byte{'\n'}) >= CodecParallelThreshold {
+	if bytes.Count(body, []byte{'\n'}) >= o.threshold() {
 		chunks := splitAtLines(body, runtime.GOMAXPROCS(0))
 		parts := make([][]Row, len(chunks))
 		errs := make([]error, len(chunks))

@@ -1,0 +1,69 @@
+package relation
+
+// Batch is one unit of rows flowing through a streaming operator pipeline.
+//
+// A batch is a view, not a copy: its Rows slice (and, for constructing
+// stages, the value storage behind the rows) is owned by the stage that
+// returned it and is only valid until the next Next call on that stage.
+// Consumers that need rows to outlive the pull loop must copy them; the
+// terminal materializing stage of a pipeline arranges fresh storage for
+// exactly this reason.
+type Batch struct {
+	Rows []Row
+}
+
+// Empty reports whether the batch carries no rows. By the RowSource
+// contract an empty batch means the source is exhausted.
+func (b Batch) Empty() bool { return len(b.Rows) == 0 }
+
+// RowSource is the pull interface of the streaming executor: a stage yields
+// its output one batch at a time instead of materializing a full relation.
+// Operator kernels compose by wrapping an upstream RowSource, which is what
+// lets a fused SELECT→PROJECT→ARITH chain run as a single pipeline with no
+// intermediate relations.
+//
+// Next returns an empty batch once the source is exhausted (and on every
+// call thereafter). A non-empty error aborts the pipeline; partial batches
+// accompanying an error are ignored.
+type RowSource interface {
+	// Schema describes the rows every batch carries.
+	Schema() Schema
+	// Next yields the next batch. The returned batch is only valid until
+	// the following Next call.
+	Next() (Batch, error)
+}
+
+// DefaultBatchRows is the row capacity pipelines pull per batch unless the
+// caller overrides it (tests force tiny batches to exercise refill paths).
+const DefaultBatchRows = 1024
+
+// SliceSource adapts a row slice to the RowSource interface, yielding
+// contiguous sub-slices of at most BatchRows rows. It allocates nothing:
+// every batch aliases the underlying slice.
+type SliceSource struct {
+	Sch       Schema
+	Rows      []Row
+	BatchRows int
+	pos       int
+}
+
+// Schema implements RowSource.
+func (s *SliceSource) Schema() Schema { return s.Sch }
+
+// Next implements RowSource.
+func (s *SliceSource) Next() (Batch, error) {
+	n := s.BatchRows
+	if n <= 0 {
+		n = DefaultBatchRows
+	}
+	if s.pos >= len(s.Rows) {
+		return Batch{}, nil
+	}
+	hi := s.pos + n
+	if hi > len(s.Rows) {
+		hi = len(s.Rows)
+	}
+	b := Batch{Rows: s.Rows[s.pos:hi]}
+	s.pos = hi
+	return b, nil
+}
