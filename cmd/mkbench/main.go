@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -44,7 +45,7 @@ func main() {
 		if n < 0 {
 			n = 0 // RunConcurrency picks 2×GOMAXPROCS
 		}
-		rep, err := bench.RunConcurrency(n, 0)
+		rep, err := bench.RunConcurrency(context.Background(), n, 0)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "concurrency:", err)
 			os.Exit(1)

@@ -1,163 +1,20 @@
-// Command mklint enforces Musketeer's source-level invariants on the
-// repository's own Go code. It is a CI gate (see ci.sh), complementing the
-// workflow-level analyzer in internal/analysis: that one checks user
-// workflows, this one checks us.
-//
-// Invariants (scoped to shipped, non-test code):
-//
-//   - hot-path-keys: internal/exec must not build row keys with
-//     fmt.Sprintf-style formatting or string concatenation; the hashed-key
-//     kernels exist precisely to avoid per-row string building.
-//   - determinism: internal/exec and internal/relation must not import
-//     time or math/rand; kernels must be replayable, so clocks and
-//     randomness are injected by callers.
-//   - engine-profile: every engines.Engine composite literal must set a
-//     prof: field, so no back-end enters the registry without a
-//     capability/cost profile for the planner.
-//   - scheduler-only-concurrency: internal/core and internal/engines must
-//     not contain bare go statements; all execution-stack concurrency is
-//     owned by internal/sched (Scheduler.Run / sched.ForEach), which is
-//     what guarantees admission control, fail-fast cancellation, and
-//     deterministic makespan accounting.
-//   - span-hygiene: everywhere under internal/, a span opened with
-//     StartSpan/Begin and held in a local variable must be ended in the
-//     same function (deferred or direct .End()); spans handed off by
-//     return or store are the recipient's responsibility. Leaked spans
-//     never close, so flight-recorder traces would show phases that run
-//     forever.
-//
-// Usage:
-//
-//	mklint ./...
-//
-// Patterns ending in /... are walked recursively from the module root;
-// testdata, hidden directories, and _test.go files are skipped. Exit
-// status is 1 when any finding is reported.
+// Command mklint is the transitional alias of cmd/mkvet. The original
+// syntactic AST linter that lived here was promoted into the type-aware
+// analysis framework under internal/vet: the same invariants (and more)
+// are now proven over go/types, per-function control-flow graphs, and the
+// module-wide call graph instead of being pattern-matched, so aliased
+// imports, transitive call chains, and branch-dependent span leaks no
+// longer slip through. Existing `mklint ./...` invocations keep working
+// and report identical rule names; new tooling should invoke mkvet
+// directly. Exit status: 0 clean, 1 findings, 2 parse/type-check failure.
 package main
 
 import (
-	"fmt"
-	"go/parser"
-	"go/token"
-	"io/fs"
 	"os"
-	"path/filepath"
-	"strings"
+
+	"musketeer/internal/vet"
 )
 
 func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	findings, err := lintPatterns(".", args)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mklint:", err)
-		os.Exit(2)
-	}
-	for _, f := range findings {
-		fmt.Println(f)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "mklint: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-}
-
-// lintPatterns expands go-style ./... patterns relative to root and lints
-// every matched non-test Go file. Rule scoping uses paths relative to the
-// module root (the nearest parent of root containing go.mod).
-func lintPatterns(root string, patterns []string) ([]Finding, error) {
-	modRoot, err := findModuleRoot(root)
-	if err != nil {
-		return nil, err
-	}
-	seen := map[string]bool{}
-	var files []string
-	for _, pat := range patterns {
-		recursive := false
-		dir := pat
-		if strings.HasSuffix(pat, "/...") {
-			recursive = true
-			dir = strings.TrimSuffix(pat, "/...")
-			if dir == "." || dir == "" {
-				dir = root
-			}
-		}
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				return err
-			}
-			if d.IsDir() {
-				name := d.Name()
-				if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-					return filepath.SkipDir
-				}
-				if path != dir && !recursive {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
-				return nil
-			}
-			abs, err := filepath.Abs(path)
-			if err != nil {
-				return err
-			}
-			if !seen[abs] {
-				seen[abs] = true
-				files = append(files, path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	var out []Finding
-	fset := token.NewFileSet()
-	for _, path := range files {
-		rel, err := moduleRelative(modRoot, path)
-		if err != nil {
-			return nil, err
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, lintFile(fset, rel, f)...)
-	}
-	return out, nil
-}
-
-// findModuleRoot walks upward from dir to the nearest go.mod.
-func findModuleRoot(dir string) (string, error) {
-	abs, err := filepath.Abs(dir)
-	if err != nil {
-		return "", err
-	}
-	for {
-		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
-			return abs, nil
-		}
-		parent := filepath.Dir(abs)
-		if parent == abs {
-			return "", fmt.Errorf("no go.mod above %s", dir)
-		}
-		abs = parent
-	}
-}
-
-func moduleRelative(modRoot, path string) (string, error) {
-	abs, err := filepath.Abs(path)
-	if err != nil {
-		return "", err
-	}
-	rel, err := filepath.Rel(modRoot, abs)
-	if err != nil {
-		return "", err
-	}
-	return filepath.ToSlash(rel), nil
+	os.Exit(vet.CLIMain("mklint", os.Args[1:], os.Stdout, os.Stderr))
 }

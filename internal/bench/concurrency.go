@@ -81,8 +81,9 @@ func stageConcurrency(fs *dfs.DFS, rows int64) (frontends.Catalog, error) {
 // concurrently on one shared deployment and reports wall-clock throughput.
 // Each execution compiles its own workflow (real requests arrive
 // pre-compilation) and runs inside a private session namespace with the
-// deployment's shared scheduler providing admission control.
-func RunConcurrency(n int, rows int64) (*ConcurrencyReport, error) {
+// deployment's shared scheduler providing admission control. ctx bounds
+// every execution (the harness forwards it instead of minting its own).
+func RunConcurrency(ctx context.Context, n int, rows int64) (*ConcurrencyReport, error) {
 	if n <= 0 {
 		n = 2 * runtime.GOMAXPROCS(0)
 	}
@@ -122,7 +123,7 @@ func RunConcurrency(n int, rows int64) (*ConcurrencyReport, error) {
 			Mode:    engines.ModeOptimized,
 			Sched:   scheduler,
 		}
-		res, err := r.ExecuteCtx(context.Background(), dag, part)
+		res, err := r.ExecuteCtx(ctx, dag, part)
 		if err != nil {
 			return err
 		}

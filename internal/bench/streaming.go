@@ -118,6 +118,7 @@ func measurePeak(run func() error) (peak, alloc int64, err error) {
 	var maxHeap atomic.Int64
 	stop := make(chan struct{})
 	done := make(chan struct{})
+	//mkvet:ignore scheduler-only-concurrency heap-sampling goroutine joined via done before return; routing it through sched would distort the measurement it takes
 	go func() {
 		defer close(done)
 		var ms runtime.MemStats

@@ -138,6 +138,7 @@ func PartitionDynamicMulti(dag *ir.DAG, est *Estimator, engs []*engines.Engine, 
 	if err != nil {
 		return nil, err
 	}
+	//mkvet:ignore determinism fixed seed 42: the tie-break shuffle is replayable by construction, every run draws the identical sequence
 	r := rand.New(rand.NewSource(42))
 	for i := 1; i < orders; i++ {
 		ops, err := randomTopoOrder(dag, r)
@@ -273,6 +274,7 @@ func PartitionExhaustive(dag *ir.DAG, est *Estimator, engs []*engines.Engine, bu
 	}
 	deadline := time.Time{}
 	if budget > 0 {
+		//mkvet:ignore determinism opt-in wall-clock search budget: with the default zero budget the clock is never read and the search is exhaustive+deterministic
 		deadline = time.Now().Add(budget)
 	}
 	s := &exhaustiveState{
@@ -500,6 +502,7 @@ func (w *exhaustiveWorker) search(i int, groups [][]*ir.Op, partial cluster.Seco
 	if w.s.expired.Load() {
 		return
 	}
+	//mkvet:ignore determinism opt-in wall-clock search budget: guarded by deadline.IsZero, so the default configuration never observes the clock
 	if !w.s.deadline.IsZero() && time.Now().After(w.s.deadline) {
 		w.s.expired.Store(true)
 		return

@@ -163,6 +163,7 @@ func (s *selectStage) Next() (relation.Batch, error) {
 				if s.tap != nil {
 					s.tap.addRow(row)
 				}
+				//mkvet:ignore arena-escape s.out is this stage's per-Next output view, re-sliced at the top of every Next: aliased rows never outlive the upstream contract window
 				s.out = append(s.out, row)
 			}
 		}

@@ -41,5 +41,6 @@ func ForEach(workers, n int, fn func(i int)) {
 			}
 		}()
 	}
+	//mkvet:ignore context-discipline bounded CPU-local fork-join: items are not cancellable mid-flight by design, callers observe ctx between items
 	wg.Wait()
 }

@@ -1,0 +1,168 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// The arena-escape pass enforces the relation.Batch ownership contract: a
+// batch's rows are a view into the producing stage's arena, valid only
+// until that stage's next Next call. Rows borrowed from a batch must
+// therefore never be stored into struct fields (they would dangle across
+// refills) or returned bare past the pipeline (only a relation.Batch
+// return hands aliased rows downstream under the contract; anything else
+// needs a copy). Borrow tracking is type-aware: a variable bound to
+// `b.Rows` (b of type relation.Batch), an element of it, or a range
+// variable over it is borrowed; so is the direct expression.
+
+func checkArenaEscape(p *pass) {
+	p.eachFuncDecl(func(pkg *Package, file *File, decl *ast.FuncDecl) {
+		p.arenaScope(pkg, decl)
+	})
+}
+
+// batchRowsExpr reports whether e is `<batch>.Rows` for a relation.Batch
+// (value or pointer) receiver.
+func (p *pass) batchRowsExpr(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Rows" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return false
+	}
+	return p.isModuleType(tv.Type, "internal/relation", "Batch")
+}
+
+func (p *pass) arenaScope(pkg *Package, decl *ast.FuncDecl) {
+	info := pkg.Info
+
+	// Collect borrowed bindings (flow-insensitive; rebinding a borrowed
+	// name to fresh storage later in the function is rare enough that a
+	// justified suppression is the right escape hatch).
+	borrowed := map[types.Object]bool{}
+	isBorrowedExpr := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if p.batchRowsExpr(info, e) {
+			return true
+		}
+		if idx, ok := e.(*ast.IndexExpr); ok && p.batchRowsExpr(info, idx.X) {
+			return true
+		}
+		if id, ok := e.(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil && borrowed[obj] {
+				return true
+			}
+		}
+		if idx, ok := e.(*ast.IndexExpr); ok {
+			if id, ok := ast.Unparen(idx.X).(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil && borrowed[obj] {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if !isBorrowedExpr(rhs) {
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			borrowed[obj] = true
+		} else if obj := info.Uses[id]; obj != nil {
+			borrowed[obj] = true
+		}
+	}
+	// Two binding sweeps so chains (`rows := b.Rows; row := rows[0]`)
+	// resolve regardless of collection order within one pass.
+	for range 2 {
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Rhs {
+						bind(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.RangeStmt:
+				if val := n.Value; val != nil && isBorrowedExpr(n.X) {
+					bind(val, n.X)
+				}
+				if val := n.Value; val != nil {
+					if p.batchRowsExpr(info, n.X) {
+						bind(val, n.X)
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Violation 1: borrowed rows stored into a struct field.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			sel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			// Selecting through a field means storing beyond this frame.
+			if _, isSelection := info.Selections[sel]; !isSelection {
+				continue
+			}
+			rhs := as.Rhs[i]
+			if isBorrowedExpr(rhs) {
+				p.reportf(as.Pos(), fmt.Sprintf(
+					"rows borrowed from a relation.Batch stored into field %s: batch rows are only valid until the stage's next Next call — copy them or keep them local", types.ExprString(sel)))
+				continue
+			}
+			// append(field, borrowedRow...) is the same store.
+			if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+				if fid, ok := call.Fun.(*ast.Ident); ok && fid.Name == "append" {
+					for _, a := range call.Args[1:] {
+						if isBorrowedExpr(a) {
+							p.reportf(as.Pos(), fmt.Sprintf(
+								"rows borrowed from a relation.Batch appended into field %s: batch rows are only valid until the stage's next Next call — copy them first", types.ExprString(sel)))
+							break
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Violation 2: borrowed rows returned bare. Returning a
+	// relation.Batch is the sanctioned aliased hand-off; anything else
+	// leaks arena storage past the pipeline.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if !isBorrowedExpr(res) {
+				continue
+			}
+			tv, ok := info.Types[res]
+			if ok && p.isModuleType(tv.Type, "internal/relation", "Batch") {
+				continue
+			}
+			p.reportf(ret.Pos(), fmt.Sprintf(
+				"%s returns rows borrowed from a relation.Batch outside a Batch: the arena behind them is recycled on the next Next call — copy before returning", decl.Name.Name))
+		}
+		return true
+	})
+}

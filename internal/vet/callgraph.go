@@ -1,0 +1,129 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file builds the module-wide static call graph over go/types
+// objects. Edges are resolved semantically, not textually: an aliased
+// import (`import clock "time"`), a method call through a named or pointer
+// receiver, and a function or method *value* (`f := time.Now; f()`) all
+// resolve to the same *types.Func. Dynamic dispatch through interfaces and
+// calls of unresolvable function values have no edges — the checks that
+// consume the graph document that boundary.
+
+// EdgeKind distinguishes a direct call from taking a function's value
+// (method values and function-typed arguments may be called later, so
+// taint-style checks traverse both).
+type EdgeKind uint8
+
+// Edge kinds.
+const (
+	EdgeCall EdgeKind = iota
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	if k == EdgeRef {
+		return "reference to"
+	}
+	return "call to"
+}
+
+// CallEdge is one resolved outgoing edge of a function.
+type CallEdge struct {
+	Callee *types.Func
+	Pos    token.Pos
+	Kind   EdgeKind
+}
+
+// CallNode is one declared function or method of the module.
+type CallNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	Out  []CallEdge
+}
+
+// CallGraph maps every module function to its outgoing edges. Calls made
+// inside function literals are attributed to the enclosing declaration —
+// a closure handed to a worker helper executes on the declarer's behalf.
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+}
+
+// buildCallGraph walks every function declaration of every module package.
+func buildCallGraph(m *Module) *CallGraph {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Ast.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				node := &CallNode{Fn: obj, Pkg: p, Decl: fd}
+				collectEdges(p.Info, fd.Body, node)
+				g.Nodes[obj] = node
+			}
+		}
+	}
+	return g
+}
+
+// collectEdges records every resolved call and function-value reference in
+// body (including inside nested function literals).
+func collectEdges(info *types.Info, body *ast.BlockStmt, node *CallNode) {
+	// Identifiers that are direct call targets, so the value-reference
+	// pass below can exclude them.
+	callIdents := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch fun := ast.Unparen(call.Fun).(type) {
+			case *ast.Ident:
+				callIdents[fun] = true
+			case *ast.SelectorExpr:
+				callIdents[fun.Sel] = true
+			}
+			if fn := calleeOf(info, call); fn != nil {
+				node.Out = append(node.Out, CallEdge{Callee: fn, Pos: call.Pos(), Kind: EdgeCall})
+			}
+		}
+		return true
+	})
+	ast.Inspect(body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || callIdents[id] {
+			return true
+		}
+		if fn, ok := info.Uses[id].(*types.Func); ok {
+			node.Out = append(node.Out, CallEdge{Callee: fn, Pos: id.Pos(), Kind: EdgeRef})
+		}
+		return true
+	})
+}
+
+// calleeOf resolves a call expression to a *types.Func: package functions,
+// methods (value or pointer receivers), and qualified identifiers. Calls
+// of interface methods resolve to the interface method object, which is
+// still useful for name/package matching; calls of plain function values
+// resolve to nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

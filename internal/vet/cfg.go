@@ -1,0 +1,418 @@
+package vet
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file builds per-function control-flow graphs. Blocks hold simple
+// statements and the condition expressions of the control statements that
+// terminate them; edges follow if/for/range/switch/select/branch/return
+// structure, including labeled break/continue, goto, and fallthrough.
+// Nested function literals are opaque nodes — each literal gets its own
+// CFG and its own analysis scope.
+//
+// The CFG deliberately models what the dataflow checks need and nothing
+// more: a virtual exit block joined by every return (and the implicit
+// fall-off-the-end return), and no edges out of recognized no-return calls
+// (panic, os.Exit), so a span ended on every *returning* path is not
+// flagged for leaking across a crash.
+
+// block is one straight-line run of nodes. nodes are simple statements or
+// bare condition expressions; they never contain nested control flow
+// (function literals excepted, which analyses skip).
+type block struct {
+	nodes []ast.Node
+	succs []*block
+	// last terminator position for exit-path reporting (the return
+	// statement, or the closing position of the function body).
+	endPos token.Pos
+}
+
+// funcCFG is one function body's graph.
+type funcCFG struct {
+	blocks []*block
+	entry  *block
+	exit   *block
+}
+
+type branchTarget struct {
+	label string
+	brk   *block
+	cont  *block
+}
+
+type cfgBuilder struct {
+	g             *funcCFG
+	cur           *block
+	targets       []branchTarget
+	gotoLabels    map[string]*block
+	pendingGotos  map[string][]*block
+	pendingLabel  string
+	fallthroughTo *block
+}
+
+// buildCFG constructs the graph for one function body.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{
+		g:            &funcCFG{},
+		gotoLabels:   map[string]*block{},
+		pendingGotos: map[string][]*block{},
+	}
+	b.g.exit = b.newBlock()
+	b.g.entry = b.newBlock()
+	b.cur = b.g.entry
+	b.stmtList(body.List)
+	// Implicit return at the end of the body.
+	b.cur.endPos = body.Rbrace
+	b.edge(b.cur, b.g.exit)
+	// Unresolved gotos (labels in dead code): connect to exit so analysis
+	// stays conservative rather than crashing.
+	for _, srcs := range b.pendingGotos {
+		for _, s := range srcs {
+			b.edge(s, b.g.exit)
+		}
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *block {
+	bl := &block{}
+	b.g.blocks = append(b.g.blocks, bl)
+	return bl
+}
+
+func (b *cfgBuilder) edge(from, to *block) {
+	if from == nil || to == nil {
+		return
+	}
+	from.succs = append(from.succs, to)
+}
+
+// startBlock finishes cur with an edge into a fresh block and makes that
+// block current.
+func (b *cfgBuilder) startBlock() *block {
+	nb := b.newBlock()
+	b.edge(b.cur, nb)
+	b.cur = nb
+	return nb
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	b.cur.nodes = append(b.cur.nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		cond := b.cur
+		join := b.newBlock()
+		then := b.newBlock()
+		b.edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body)
+		b.edge(b.cur, join)
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(cond, els)
+			b.cur = els
+			b.stmt(s.Else)
+			b.edge(b.cur, join)
+		} else {
+			b.edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.startBlock()
+		if s.Cond != nil {
+			b.add(s.Cond)
+		}
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: post})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, post)
+		b.cur = post
+		if s.Post != nil {
+			b.add(s.Post)
+		}
+		b.edge(b.cur, head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X)
+		head := b.startBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, body)
+		b.edge(head, after)
+		b.targets = append(b.targets, branchTarget{label: label, brk: after, cont: head})
+		b.cur = body
+		b.stmt(s.Body)
+		b.edge(b.cur, head)
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.switchLike(s.Init, s.Tag, nil, s.Body, true)
+	case *ast.TypeSwitchStmt:
+		b.switchLike(s.Init, nil, s.Assign, s.Body, false)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock()
+		b.targets = append(b.targets, branchTarget{label: label, brk: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			cb := b.newBlock()
+			b.edge(head, cb)
+			b.cur = cb
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.edge(b.cur, after)
+		}
+		b.targets = b.targets[:len(b.targets)-1]
+		b.cur = after
+	case *ast.LabeledStmt:
+		lb := b.startBlock()
+		name := s.Label.Name
+		b.gotoLabels[name] = lb
+		for _, src := range b.pendingGotos[name] {
+			b.edge(src, lb)
+		}
+		delete(b.pendingGotos, name)
+		b.pendingLabel = name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			if t := b.findTarget(s.Label, false); t != nil {
+				b.edge(b.cur, t.brk)
+			}
+			b.cur = b.newBlock()
+		case token.CONTINUE:
+			if t := b.findTarget(s.Label, true); t != nil {
+				b.edge(b.cur, t.cont)
+			}
+			b.cur = b.newBlock()
+		case token.GOTO:
+			name := s.Label.Name
+			if lb := b.gotoLabels[name]; lb != nil {
+				b.edge(b.cur, lb)
+			} else {
+				b.pendingGotos[name] = append(b.pendingGotos[name], b.cur)
+			}
+			b.cur = b.newBlock()
+		case token.FALLTHROUGH:
+			b.edge(b.cur, b.fallthroughTo)
+			b.cur = b.newBlock()
+		}
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.cur.endPos = s.Pos()
+		b.edge(b.cur, b.g.exit)
+		b.cur = b.newBlock()
+	case *ast.ExprStmt:
+		b.add(s)
+		if isNoReturnCall(s.X) {
+			// The path ends in a crash, not a return: no exit edge, so
+			// leak checks don't fire on panic paths.
+			b.cur = b.newBlock()
+		}
+	default:
+		// Assignments, declarations, sends, defers, go statements,
+		// inc/dec, empties: straight-line nodes.
+		b.add(s)
+	}
+}
+
+// switchLike builds expression and type switches. Each clause body gets its
+// own block; fallthrough chains to the next clause's body.
+func (b *cfgBuilder) switchLike(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt, allowFallthrough bool) {
+	label := b.takeLabel()
+	if init != nil {
+		b.add(init)
+	}
+	if tag != nil {
+		b.add(tag)
+	}
+	if assign != nil {
+		b.add(assign)
+	}
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label: label, brk: after})
+	clauses := body.List
+	bodies := make([]*block, len(clauses))
+	for i := range clauses {
+		bodies[i] = b.newBlock()
+	}
+	hasDefault := false
+	for i, cl := range clauses {
+		cc := cl.(*ast.CaseClause)
+		if cc.List == nil {
+			hasDefault = true
+		}
+		b.edge(head, bodies[i])
+		b.cur = bodies[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		if allowFallthrough && i+1 < len(clauses) {
+			b.fallthroughTo = bodies[i+1]
+		} else {
+			b.fallthroughTo = after
+		}
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.fallthroughTo = nil
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) findTarget(label *ast.Ident, needCont bool) *branchTarget {
+	for i := len(b.targets) - 1; i >= 0; i-- {
+		t := &b.targets[i]
+		if needCont && t.cont == nil {
+			continue
+		}
+		if label == nil || t.label == label.Name {
+			return t
+		}
+	}
+	return nil
+}
+
+// isNoReturnCall recognizes calls that terminate the path without
+// returning: panic and os.Exit (syntactic on purpose — the exact os.Exit
+// object identity doesn't matter for path-sensitivity).
+func isNoReturnCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fn.X.(*ast.Ident); ok {
+			return pkg.Name == "os" && fn.Sel.Name == "Exit"
+		}
+	}
+	return false
+}
+
+// fixpoint computes, for every block, the may-live set at block entry
+// (union over predecessors of their exit sets) and returns the entry sets.
+// transfer applies one node's effect to a live set in place.
+func (g *funcCFG) fixpoint(transfer func(n ast.Node, live map[string]token.Pos)) map[*block]map[string]token.Pos {
+	in := map[*block]map[string]token.Pos{}
+	out := map[*block]map[string]token.Pos{}
+	for _, bl := range g.blocks {
+		in[bl] = map[string]token.Pos{}
+		out[bl] = map[string]token.Pos{}
+	}
+	changed := true
+	for changed {
+		changed = false
+		for _, bl := range g.blocks {
+			live := map[string]token.Pos{}
+			for k, v := range in[bl] {
+				live[k] = v
+			}
+			for _, n := range bl.nodes {
+				transfer(n, live)
+			}
+			if !sameSet(out[bl], live) {
+				out[bl] = live
+				changed = true
+			}
+			for _, s := range bl.succs {
+				for k, v := range live {
+					if _, ok := in[s][k]; !ok {
+						in[s][k] = v
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return in
+}
+
+// exitLive replays each exit-predecessor block's transfer and calls report
+// with the keys still live at its terminator.
+func (g *funcCFG) exitLive(in map[*block]map[string]token.Pos, transfer func(n ast.Node, live map[string]token.Pos), report func(endPos token.Pos, live map[string]token.Pos)) {
+	for _, bl := range g.blocks {
+		toExit := false
+		for _, s := range bl.succs {
+			if s == g.exit {
+				toExit = true
+				break
+			}
+		}
+		if !toExit {
+			continue
+		}
+		live := map[string]token.Pos{}
+		for k, v := range in[bl] {
+			live[k] = v
+		}
+		for _, n := range bl.nodes {
+			transfer(n, live)
+		}
+		if len(live) > 0 {
+			report(bl.endPos, live)
+		}
+	}
+}
+
+func sameSet(a, b map[string]token.Pos) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if _, ok := b[k]; !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,151 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// The context-discipline pass enforces PR 3's cancellation contract in
+// three parts:
+//
+//  1. context.Background()/TODO() are banned outside cmd/ — a library
+//     function that mints its own root context silently detaches the work
+//     from the caller's cancellation and deadline. The deliberate
+//     boundary wrappers (the public non-Ctx convenience API) carry
+//     justified suppressions.
+//  2. In the execution-stack packages, an exported API that accepts a
+//     context (directly, or inside a run-context struct) must actually
+//     use it — an accepted-and-dropped ctx is a cancellation black hole
+//     that the caller cannot see.
+//  3. In the same packages, an exported API that blocks (channel ops,
+//     select, WaitGroup.Wait) must accept a context at all.
+var ctxPackages = []string{"internal/core", "internal/engines", "internal/sched", "internal/dfs"}
+
+func checkContext(p *pass) {
+	// Part 1: no minted root contexts outside cmd/.
+	for _, pkg := range p.m.Pkgs {
+		if underAny(pkg.Rel, []string{"cmd"}) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f.Ast, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				if funcFrom(fn, "context", "Background") || funcFrom(fn, "context", "TODO") {
+					p.reportf(call.Pos(), fmt.Sprintf(
+						"context.%s() outside cmd/: library code must accept and forward the caller's context, not mint a root one", fn.Name()))
+				}
+				return true
+			})
+		}
+	}
+
+	// Parts 2 and 3: exported execution-stack APIs.
+	p.eachFuncDecl(func(pkg *Package, file *File, decl *ast.FuncDecl) {
+		if !underAny(pkg.Rel, ctxPackages) || !decl.Name.IsExported() {
+			return
+		}
+		obj, ok := pkg.Info.Defs[decl.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		sig, ok := obj.Type().(*types.Signature)
+		if !ok {
+			return
+		}
+		if hasCtxParam(sig) {
+			if !usesCtxParam(pkg.Info, decl) {
+				p.reportf(decl.Name.Pos(), fmt.Sprintf(
+					"exported %s accepts a context but never forwards or observes it: cancellation dies here", decl.Name.Name))
+			}
+			return
+		}
+		if pos, kind, blocking := firstBlockingOp(pkg.Info, decl.Body); blocking {
+			p.reportf(pos, fmt.Sprintf(
+				"exported %s blocks (%s) but takes no context.Context: blocking APIs in %s must accept and forward one",
+				decl.Name.Name, kind, pkg.Rel))
+		}
+	})
+}
+
+// usesCtxParam reports whether any context-carrying parameter of decl is
+// referenced in its body.
+func usesCtxParam(info *types.Info, decl *ast.FuncDecl) bool {
+	params := map[types.Object]bool{}
+	for _, field := range decl.Type.Params.List {
+		tv, ok := info.Types[field.Type]
+		if !ok {
+			continue
+		}
+		carries := isStdType(tv.Type, "context", "Context")
+		if !carries {
+			if n := derefNamed(tv.Type); n != nil {
+				if st, ok := n.Underlying().(*types.Struct); ok {
+					for j := 0; j < st.NumFields() && !carries; j++ {
+						carries = isStdType(st.Field(j).Type(), "context", "Context")
+					}
+				}
+			}
+		}
+		if !carries {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				params[obj] = true
+			}
+		}
+	}
+	if len(params) == 0 {
+		// Unnamed (or _) context parameter: it cannot be forwarded.
+		return false
+	}
+	used := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && params[info.Uses[id]] {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// firstBlockingOp finds the first channel operation, select, or
+// WaitGroup.Wait in body (including nested literals — a goroutine spawned
+// by the API is still the API blocking).
+func firstBlockingOp(info *types.Info, body *ast.BlockStmt) (token.Pos, string, bool) {
+	var pos token.Pos
+	var kind string
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			pos, kind, found = n.Pos(), "channel send", true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pos, kind, found = n.Pos(), "channel receive", true
+			}
+		case *ast.SelectStmt:
+			pos, kind, found = n.Pos(), "select", true
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if tv, ok := info.Types[sel.X]; ok && isStdType(tv.Type, "sync", "WaitGroup") {
+					pos, kind, found = n.Pos(), "WaitGroup.Wait", true
+				}
+			}
+		}
+		return !found
+	})
+	return pos, kind, found
+}

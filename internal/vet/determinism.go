@@ -1,0 +1,142 @@
+package vet
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// The determinism-taint pass proves §5.2's "deterministic cost estimation"
+// invariant end to end: no function reachable from the kernel packages may
+// observe a clock or a random source — not directly, not through a helper
+// two modules away, not by taking time.Now as a method value. The old
+// syntactic rule banned `import "time"` in two directories; this pass
+// walks the typed call graph, so an aliased import or a transitive call
+// chain is caught and reported with its full witness path.
+
+// determinismRoots are the kernel packages whose functions seed the
+// traversal: the operator kernels, the row/relation layer, and the cost
+// model + partition search (internal/core owns cost.go and partition.go).
+var determinismRoots = []string{"internal/exec", "internal/relation", "internal/core"}
+
+// determinismExempt are the packages sanctioned to own wall-clock time:
+// the flight recorder (spans record real durations by design) and the
+// scheduler (queue-wait/run-wall accounting). Traversal stops at their
+// boundary; their internals are not taint sources for callers.
+var determinismExempt = []string{"internal/obs", "internal/sched"}
+
+// sinkFunc reports whether fn is a nondeterminism source: the
+// package-level clock/randomness entry points. Methods are excluded on
+// purpose — (time.Time).After is pure arithmetic, and a *rand.Rand's
+// determinism is decided where it is constructed (rand.New/NewSource are
+// the flagged entry points, and a fixed-seed construction carries a
+// justified suppression).
+func sinkFunc(fn *types.Func) (string, bool) {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return "", false
+	}
+	path := pkgPathOf(fn)
+	switch path {
+	case "math/rand", "math/rand/v2":
+		return path + "." + fn.Name(), true
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until", "Sleep", "After", "Tick", "NewTimer", "NewTicker", "AfterFunc":
+			return "time." + fn.Name(), true
+		}
+	}
+	return "", false
+}
+
+func checkDeterminism(p *pass) {
+	// Breadth-first reachability from every kernel-package function,
+	// recording a parent edge for witness-chain reconstruction. Roots are
+	// visited in source order so chains are deterministic.
+	type visit struct {
+		node   *CallNode
+		parent *CallNode
+	}
+	var roots []*CallNode
+	for _, n := range p.graph.Nodes {
+		if underAny(n.Pkg.Rel, determinismRoots) {
+			roots = append(roots, n)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Decl.Pos() < roots[j].Decl.Pos() })
+
+	parent := map[*CallNode]*CallNode{}
+	seen := map[*CallNode]bool{}
+	queue := make([]visit, 0, len(roots))
+	for _, r := range roots {
+		queue = append(queue, visit{node: r})
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		if seen[v.node] {
+			continue
+		}
+		seen[v.node] = true
+		parent[v.node] = v.parent
+		for _, e := range v.node.Out {
+			callee := p.graph.Nodes[e.Callee]
+			if callee == nil || seen[callee] {
+				continue
+			}
+			if underAny(callee.Pkg.Rel, determinismExempt) {
+				continue
+			}
+			queue = append(queue, visit{node: callee, parent: v.node})
+		}
+	}
+
+	// Report each sink edge of each reachable function, with the witness
+	// chain from a kernel root down to the offending call.
+	reported := map[string]bool{}
+	var nodes []*CallNode
+	for n := range seen {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Decl.Pos() < nodes[j].Decl.Pos() })
+	for _, n := range nodes {
+		for _, e := range n.Out {
+			sink, ok := sinkFunc(e.Callee)
+			if !ok {
+				continue
+			}
+			pos := p.m.Fset.Position(e.Pos)
+			key := fmt.Sprintf("%s:%d:%d", pos.Filename, pos.Line, pos.Column)
+			if reported[key] {
+				continue
+			}
+			reported[key] = true
+
+			var chain []Hop
+			for c := n; c != nil; c = parent[c] {
+				chain = append(chain, p.hop(c))
+			}
+			// Reverse: outermost kernel root first.
+			for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+				chain[i], chain[j] = chain[j], chain[i]
+			}
+			rootHop := chain[0]
+			how := e.Kind.String()
+			msg := fmt.Sprintf("%s %s: deterministic cost estimation (§5.2) forbids clocks and randomness in code reachable from kernel package %s — inject the value from the caller",
+				how, sink, pkgDirOf(rootHop.File))
+			if len(chain) > 1 {
+				msg = fmt.Sprintf("%s %s reachable from kernel function %s (%d hops): deterministic cost estimation (§5.2) forbids clocks and randomness on kernel call paths — inject the value from the caller",
+					how, sink, rootHop.Func, len(chain)-1)
+			}
+			p.reportAt(e.Pos, msg, chain)
+		}
+	}
+}
+
+// pkgDirOf trims the file name off a module-relative file path.
+func pkgDirOf(relFile string) string {
+	if i := strings.LastIndex(relFile, "/"); i >= 0 {
+		return relFile[:i]
+	}
+	return "."
+}

@@ -1,0 +1,94 @@
+package vet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Severity tags a diagnostic. Every invariant violation is an error; the
+// suppression-hygiene rules report warnings. CI fails on any finding
+// regardless of severity — the tag exists so downstream tooling can triage.
+type Severity string
+
+// Severity levels.
+const (
+	SevError Severity = "error"
+	SevWarn  Severity = "warning"
+)
+
+// Hop is one frame of a call chain attached to a diagnostic (the
+// determinism-taint rule reports the full kernel→…→clock path).
+type Hop struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// Diagnostic is one analysis finding.
+type Diagnostic struct {
+	Rule     string   `json:"rule"`
+	Severity Severity `json:"severity"`
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Col      int      `json:"col"`
+	Message  string   `json:"message"`
+	// Chain, when non-empty, is the witness call path for transitive
+	// findings, outermost frame first.
+	Chain []Hop `json:"chain,omitempty"`
+}
+
+func (d Diagnostic) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Rule, d.Message)
+	for _, h := range d.Chain {
+		fmt.Fprintf(&b, "\n\tvia %s (%s:%d)", h.Func, h.File, h.Line)
+	}
+	return b.String()
+}
+
+// sortDiagnostics orders findings by file, line, column, then rule, so
+// output (and the golden corpus) is deterministic.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// jsonReport is the envelope of `mkvet -json` output.
+type jsonReport struct {
+	Module      string         `json:"module"`
+	Findings    int            `json:"findings"`
+	ByRule      map[string]int `json:"by_rule"`
+	Diagnostics []Diagnostic   `json:"diagnostics"`
+}
+
+// WriteJSON emits the machine-readable report (one pretty-printed JSON
+// object; CI uploads it as an artifact on failure).
+func WriteJSON(w io.Writer, module string, ds []Diagnostic) error {
+	rep := jsonReport{Module: module, Findings: len(ds), ByRule: map[string]int{}, Diagnostics: ds}
+	if rep.Diagnostics == nil {
+		rep.Diagnostics = []Diagnostic{}
+	}
+	for _, d := range ds {
+		rep.ByRule[d.Rule]++
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

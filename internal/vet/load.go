@@ -1,0 +1,323 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// File is one parsed source file of the module under analysis.
+type File struct {
+	// Path is the filesystem path the file was read from.
+	Path string
+	// Rel is the module-relative slash-separated path ("internal/exec/kernels.go").
+	Rel string
+	Ast *ast.File
+}
+
+// Package is one type-checked package of the module.
+type Package struct {
+	// ImportPath is the full import path ("musketeer/internal/exec").
+	ImportPath string
+	// Rel is the module-relative directory ("internal/exec"; "" for the
+	// module root package).
+	Rel   string
+	Dir   string
+	Files []*File
+	Types *types.Package
+	Info  *types.Info
+	// Main marks package-main commands (cmd/*); several rules relax at
+	// the binary entry-point boundary.
+	Main bool
+}
+
+// Module is the fully loaded and type-checked analysis target.
+type Module struct {
+	// Path is the module path from go.mod ("musketeer").
+	Path string
+	// Root is the absolute filesystem path of the module root.
+	Root string
+	Fset *token.FileSet
+	// Pkgs is in dependency (topological) order: a package appears after
+	// everything it imports.
+	Pkgs   []*Package
+	byPath map[string]*Package
+}
+
+// Lookup returns the module package with the given import path, or nil.
+func (m *Module) Lookup(importPath string) *Package { return m.byPath[importPath] }
+
+// A LoadError aggregates parse and type-check failures. Callers distinguish
+// it from analysis findings: a tree that does not parse or type-check is
+// broken, not dirty (mkvet exits 2, not 1).
+type LoadError struct {
+	Errs []string
+}
+
+func (e *LoadError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0]
+	}
+	return fmt.Sprintf("%s (and %d more errors)", e.Errs[0], len(e.Errs)-1)
+}
+
+// skipDir reports whether a directory is outside the analysis universe:
+// testdata trees, hidden and underscore directories, and the examples
+// directory (workflow scripts, not module code).
+func skipDir(name string) bool {
+	return name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// LoadModule parses and type-checks every non-test package of the module
+// rooted at the nearest go.mod above dir. The standard library is resolved
+// through the toolchain's export data (falling back to type-checking the
+// library from source), so loading needs nothing beyond the Go toolchain
+// itself — the module stays dependency-free.
+func LoadModule(dir string) (*Module, error) {
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+
+	// Collect the non-test Go files of every package directory.
+	byDir := map[string][]string{}
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != root && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		byDir[filepath.Dir(path)] = append(byDir[filepath.Dir(path)], path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Parse in sorted directory order: fileset offsets (and with them every
+	// position-sorted traversal, like the determinism pass's root order)
+	// must not depend on map iteration.
+	dirs := sortedKeys(byDir)
+
+	m := &Module{Path: modPath, Root: root, Fset: token.NewFileSet(), byPath: map[string]*Package{}}
+	var loadErrs []string
+	var pkgs []*Package
+	for _, dir := range dirs {
+		files := byDir[dir]
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		rel = filepath.ToSlash(rel)
+		if rel == "." {
+			rel = ""
+		}
+		imp := modPath
+		if rel != "" {
+			imp = modPath + "/" + rel
+		}
+		p := &Package{ImportPath: imp, Rel: rel, Dir: dir}
+		sort.Strings(files)
+		for _, path := range files {
+			f, err := parser.ParseFile(m.Fset, path, nil, parser.ParseComments)
+			if err != nil {
+				loadErrs = append(loadErrs, err.Error())
+				continue
+			}
+			frel := rel + "/" + filepath.Base(path)
+			if rel == "" {
+				frel = filepath.Base(path)
+			}
+			p.Files = append(p.Files, &File{Path: path, Rel: frel, Ast: f})
+		}
+		if len(p.Files) == 0 {
+			continue
+		}
+		p.Main = p.Files[0].Ast.Name.Name == "main"
+		pkgs = append(pkgs, p)
+		m.byPath[p.ImportPath] = p
+	}
+	if len(loadErrs) > 0 {
+		return nil, &LoadError{Errs: loadErrs}
+	}
+
+	ordered, err := topoSort(m, pkgs)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newChainedImporter(m)
+	for _, p := range ordered {
+		p.Info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Implicits:  map[ast.Node]types.Object{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+		conf := types.Config{
+			Importer: imp,
+			Error: func(err error) {
+				loadErrs = append(loadErrs, err.Error())
+			},
+		}
+		asts := make([]*ast.File, len(p.Files))
+		for i, f := range p.Files {
+			asts[i] = f.Ast
+		}
+		tp, _ := conf.Check(p.ImportPath, m.Fset, asts, p.Info)
+		p.Types = tp
+	}
+	if len(loadErrs) > 0 {
+		return nil, &LoadError{Errs: loadErrs}
+	}
+	m.Pkgs = ordered
+	return m, nil
+}
+
+// topoSort orders packages so every package follows its intra-module
+// imports; type-checking in this order means an imported package's
+// *types.Package is always complete before its importers are checked.
+func topoSort(m *Module, pkgs []*Package) ([]*Package, error) {
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].ImportPath < pkgs[j].ImportPath })
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := map[*Package]int{}
+	var out []*Package
+	var visit func(p *Package, from string) error
+	visit = func(p *Package, from string) error {
+		switch state[p] {
+		case grey:
+			return fmt.Errorf("import cycle through %s (imported from %s)", p.ImportPath, from)
+		case black:
+			return nil
+		}
+		state[p] = grey
+		deps := map[string]bool{}
+		for _, f := range p.Files {
+			for _, spec := range f.Ast.Imports {
+				path, err := strconv.Unquote(spec.Path.Value)
+				if err != nil {
+					continue
+				}
+				if dep := m.byPath[path]; dep != nil && !deps[path] {
+					deps[path] = true
+					if err := visit(dep, p.ImportPath); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		state[p] = black
+		out = append(out, p)
+		return nil
+	}
+	for _, p := range pkgs {
+		if err := visit(p, "module root"); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// chainedImporter resolves module-internal imports from the already
+// type-checked packages and the standard library through the toolchain.
+// Export data (the "gc" importer) is tried first; toolchains without
+// pre-built std export data fall back to type-checking the library from
+// source, so the analyzer never needs anything installed.
+type chainedImporter struct {
+	m       *Module
+	gc      types.Importer
+	src     types.Importer
+	stdMemo map[string]*types.Package
+}
+
+func newChainedImporter(m *Module) *chainedImporter {
+	return &chainedImporter{
+		m:       m,
+		gc:      importer.ForCompiler(m.Fset, "gc", nil),
+		src:     importer.ForCompiler(m.Fset, "source", nil),
+		stdMemo: map[string]*types.Package{},
+	}
+}
+
+func (c *chainedImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p := c.m.byPath[path]; p != nil {
+		if p.Types == nil {
+			return nil, fmt.Errorf("module package %s imported before it was checked", path)
+		}
+		return p.Types, nil
+	}
+	if tp := c.stdMemo[path]; tp != nil {
+		return tp, nil
+	}
+	tp, err := c.gc.Import(path)
+	if err != nil {
+		tp, err = c.src.Import(path)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c.stdMemo[path] = tp
+	return tp, nil
+}
+
+// findModuleRoot walks upward from dir to the nearest go.mod.
+func findModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(abs, "go.mod")); err == nil {
+			return abs, nil
+		}
+		parent := filepath.Dir(abs)
+		if parent == abs {
+			return "", fmt.Errorf("no go.mod above %s", dir)
+		}
+		abs = parent
+	}
+}
+
+// modulePath reads the module declaration of a go.mod.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(strings.Trim(rest, "\"")), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module declaration", gomod)
+}

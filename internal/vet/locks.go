@@ -1,0 +1,144 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The lock-discipline pass proves per control-flow path that every
+// sync.Mutex/RWMutex acquired in a function is released before the
+// function returns: Lock without Unlock on an early error return is the
+// exact shape that deadlocks a concurrent workflow execution only
+// sometimes, which is why it must be proven, not spot-checked. Release can
+// be direct, deferred, or inside a deferred closure. Read and write sides
+// of an RWMutex pair independently (Lock↔Unlock, RLock↔RUnlock).
+
+// lockCall classifies a call as acquire or release of a typed mutex.
+// Returns the mutex expression, a mode suffix ("" write, "R" read).
+func lockCall(info *types.Info, call *ast.CallExpr) (mu ast.Expr, mode string, acquire, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || len(call.Args) != 0 {
+		return nil, "", false, false
+	}
+	tv, has := info.Types[sel.X]
+	if !has {
+		return nil, "", false, false
+	}
+	if !isStdType(tv.Type, "sync", "Mutex") && !isStdType(tv.Type, "sync", "RWMutex") {
+		return nil, "", false, false
+	}
+	switch sel.Sel.Name {
+	case "Lock":
+		return sel.X, "", true, true
+	case "RLock":
+		return sel.X, "R", true, true
+	case "Unlock":
+		return sel.X, "", false, true
+	case "RUnlock":
+		return sel.X, "R", false, true
+	}
+	return nil, "", false, false
+}
+
+func checkLocks(p *pass) {
+	p.eachFuncBody(func(pkg *Package, file *File, name string, body *ast.BlockStmt) {
+		p.lockScope(pkg, name, body)
+	})
+}
+
+func (p *pass) lockScope(pkg *Package, fname string, body *ast.BlockStmt) {
+	info := pkg.Info
+	type lockFact struct {
+		expr string
+		pos  token.Pos
+	}
+	facts := map[string]lockFact{}
+	apply := func(n ast.Node, live map[string]token.Pos) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if _, isLit := c.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, isCall := c.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			mu, mode, acquire, ok := lockCall(info, call)
+			if !ok {
+				return true
+			}
+			key := types.ExprString(mu) + "/" + mode
+			if acquire {
+				live[key] = call.Pos()
+				if _, seen := facts[key]; !seen {
+					facts[key] = lockFact{expr: types.ExprString(mu), pos: call.Pos()}
+				}
+			} else {
+				delete(live, key)
+			}
+			return false
+		})
+	}
+	transfer := func(n ast.Node, live map[string]token.Pos) {
+		if d, isDefer := n.(*ast.DeferStmt); isDefer {
+			// A deferred release (direct or inside a deferred closure)
+			// discharges the lock on every path through this statement; a
+			// deferred acquire is not an acquire on this path.
+			ast.Inspect(d.Call, func(c ast.Node) bool {
+				call, isCall := c.(*ast.CallExpr)
+				if !isCall {
+					return true
+				}
+				if mu, mode, acquire, ok := lockCall(info, call); ok && !acquire {
+					delete(live, types.ExprString(mu)+"/"+mode)
+				}
+				return true
+			})
+			return
+		}
+		apply(n, live)
+	}
+
+	g := buildCFG(body)
+	in := g.fixpoint(transfer)
+	type held struct {
+		fact    lockFact
+		mode    string
+		exitPos token.Pos
+	}
+	leaks := map[string]held{}
+	g.exitLive(in, transfer, func(endPos token.Pos, live map[string]token.Pos) {
+		for key := range live {
+			f, ok := facts[key]
+			if !ok {
+				continue
+			}
+			mode := ""
+			if len(key) > 0 && key[len(key)-1] == 'R' {
+				mode = "R"
+			}
+			if prev, ok := leaks[key]; !ok || endPos < prev.exitPos {
+				leaks[key] = held{fact: f, mode: mode, exitPos: endPos}
+			}
+		}
+	})
+	keys := make([]string, 0, len(leaks))
+	for k := range leaks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := leaks[k]
+		verb := "Lock"
+		unlock := "Unlock"
+		if l.mode == "R" {
+			verb, unlock = "RLock", "RUnlock"
+		}
+		exitLine := p.m.Fset.Position(l.exitPos).Line
+		p.reportAt(l.fact.pos, fmt.Sprintf(
+			"%s.%s() in %s is still held on the path leaving at line %d: add `defer %s.%s()` or release before that return",
+			l.fact.expr, verb, fname, exitLine, l.fact.expr, unlock), nil)
+	}
+}

@@ -1,0 +1,262 @@
+package vet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The span-leak pass proves, per function scope and per control-flow path,
+// that every flight-recorder span started locally is ended before the
+// function returns — including early error returns the old syntactic
+// span-hygiene rule could not see (it only checked that *some* .End()
+// existed somewhere in the function). A span that escapes the scope
+// (returned, stored, or handed to another call) transfers ownership and is
+// exempt, matching the obs API contract.
+//
+// Mechanically: a forward may-analysis over the function's CFG. A span
+// start gens a live fact; .End() (direct or deferred, including inside a
+// deferred closure) and every escape kill it; any fact still live at a
+// return edge is a leak, reported with both the start and the leaking
+// return position.
+
+// spanStartCall reports whether e starts a span: a StartSpan or Begin call
+// whose static result type is *obs.Span (resolved through go/types, so
+// wrappers with other names don't false-positive and renamed imports don't
+// hide).
+func (p *pass) spanStartCall(info *types.Info, e ast.Expr) (*ast.CallExpr, bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil, false
+	}
+	switch sel.Sel.Name {
+	case "StartSpan", "Begin":
+	default:
+		return nil, false
+	}
+	tv, ok := info.Types[call]
+	if !ok {
+		return nil, false
+	}
+	return call, p.isModuleType(tv.Type, "internal/obs", "Span")
+}
+
+func checkSpanLeak(p *pass) {
+	p.eachFuncBody(func(pkg *Package, file *File, name string, body *ast.BlockStmt) {
+		p.spanLeakScope(pkg, file, name, body)
+	})
+}
+
+type spanFact struct {
+	name  string
+	start token.Pos
+}
+
+func (p *pass) spanLeakScope(pkg *Package, file *File, fname string, body *ast.BlockStmt) {
+	info := pkg.Info
+
+	// Discarded starts are leaks before any flow analysis: the span value
+	// is gone, nothing can ever end it.
+	walkScopeNodes(body, func(n ast.Node) {
+		if stmt, ok := n.(*ast.ExprStmt); ok {
+			if _, ok := p.spanStartCall(info, stmt.X); ok {
+				p.reportf(stmt.Pos(), fmt.Sprintf("span started and immediately discarded in %s: assign it and defer .End(), or don't start it", fname))
+			}
+		}
+	})
+
+	facts := map[string]spanFact{}
+	objKey := func(obj types.Object) string {
+		return fmt.Sprintf("%s@%d", obj.Name(), obj.Pos())
+	}
+	lhsObj := func(id *ast.Ident) types.Object {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+		return info.Uses[id]
+	}
+	// killLive removes every tracked span identifier appearing under n
+	// (including inside nested closures — a captured span's ownership is
+	// the closure's problem, not this path's).
+	killLive := func(n ast.Node, live map[string]token.Pos) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			if id, ok := c.(*ast.Ident); ok {
+				if obj := info.Uses[id]; obj != nil {
+					delete(live, objKey(obj))
+				}
+			}
+			return true
+		})
+	}
+	// scanExpr finds End() kills and escape kills inside one expression
+	// tree (excluding nested function literals except where noted).
+	var scanExpr func(n ast.Node, live map[string]token.Pos)
+	scanExpr = func(n ast.Node, live map[string]token.Pos) {
+		if n == nil {
+			return
+		}
+		ast.Inspect(n, func(c ast.Node) bool {
+			switch c := c.(type) {
+			case *ast.FuncLit:
+				// A closure capturing a live span takes ownership.
+				killLive(c.Body, live)
+				return false
+			case *ast.CallExpr:
+				if sel, ok := c.Fun.(*ast.SelectorExpr); ok {
+					if id, ok := sel.X.(*ast.Ident); ok {
+						if sel.Sel.Name == "End" && len(c.Args) == 0 {
+							if obj := info.Uses[id]; obj != nil {
+								delete(live, objKey(obj))
+							}
+							return false
+						}
+						// Other method calls on the span keep it live;
+						// arguments may still escape other spans.
+						for _, a := range c.Args {
+							killLive(a, live)
+						}
+						return false
+					}
+				}
+				for _, a := range c.Args {
+					killLive(a, live)
+				}
+				scanExpr(c.Fun, live)
+				return false
+			case *ast.UnaryExpr:
+				if c.Op == token.AND {
+					killLive(c.X, live)
+					return false
+				}
+			case *ast.CompositeLit:
+				killLive(c, live)
+				return false
+			case *ast.SendStmt:
+				killLive(c.Value, live)
+				return false
+			}
+			return true
+		})
+	}
+	handleAssignPair := func(lhs, rhs ast.Expr, live map[string]token.Pos) {
+		if call, ok := p.spanStartCall(info, rhs); ok {
+			id, isIdent := lhs.(*ast.Ident)
+			if !isIdent || id.Name == "_" {
+				p.reportf(call.Pos(), fmt.Sprintf("span started and immediately discarded in %s: assign it and defer .End(), or don't start it", fname))
+				return
+			}
+			obj := lhsObj(id)
+			if obj == nil {
+				return
+			}
+			key := objKey(obj)
+			live[key] = call.Pos()
+			if _, ok := facts[key]; !ok {
+				facts[key] = spanFact{name: id.Name, start: call.Pos()}
+			}
+			return
+		}
+		// Ownership moves: a tracked span assigned anywhere else (another
+		// variable, a field, a map or slice slot) escapes this scope.
+		if id, ok := ast.Unparen(rhs).(*ast.Ident); ok {
+			if obj := info.Uses[id]; obj != nil {
+				delete(live, objKey(obj))
+			}
+			return
+		}
+		scanExpr(rhs, live)
+		_ = lhs
+	}
+	transfer := func(n ast.Node, live map[string]token.Pos) {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Lhs) == len(n.Rhs) {
+				for i := range n.Rhs {
+					handleAssignPair(n.Lhs[i], n.Rhs[i], live)
+				}
+				return
+			}
+			for _, rhs := range n.Rhs {
+				scanExpr(rhs, live)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != len(vs.Values) {
+					continue
+				}
+				for i := range vs.Values {
+					handleAssignPair(vs.Names[i], vs.Values[i], live)
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				killLive(res, live)
+			}
+		case *ast.DeferStmt:
+			// defer sp.End(), defer func(){ sp.End() }(), and handing the
+			// span to any deferred call all discharge it on every path
+			// that executed this statement.
+			killLive(n.Call, live)
+		default:
+			scanExpr(n, live)
+		}
+	}
+
+	g := buildCFG(body)
+	in := g.fixpoint(transfer)
+	type leak struct {
+		fact    spanFact
+		exitPos token.Pos
+	}
+	leaks := map[string]leak{}
+	g.exitLive(in, transfer, func(endPos token.Pos, live map[string]token.Pos) {
+		for key := range live {
+			f, ok := facts[key]
+			if !ok {
+				continue
+			}
+			if prev, ok := leaks[key]; !ok || endPos < prev.exitPos {
+				leaks[key] = leak{fact: f, exitPos: endPos}
+			}
+		}
+	})
+	keys := make([]string, 0, len(leaks))
+	for k := range leaks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		l := leaks[k]
+		exitLine := p.m.Fset.Position(l.exitPos).Line
+		p.reportAt(l.fact.start, fmt.Sprintf(
+			"span %s started in %s is not ended on the path leaving at line %d: add `defer %s.End()` or end it before that return",
+			l.fact.name, fname, exitLine, l.fact.name), nil)
+	}
+}
+
+// walkScopeNodes visits body's nodes excluding nested function literals.
+func walkScopeNodes(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

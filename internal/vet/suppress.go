@@ -1,0 +1,115 @@
+package vet
+
+import (
+	"go/token"
+	"strings"
+)
+
+// A suppression is one `//mkvet:ignore <rule>[,<rule>...] <reason>` comment.
+// It silences matching findings reported on its own line or on the line
+// directly below (for comments placed above the offending statement). The
+// reason is mandatory: an unjustified suppression is itself a finding, and
+// so is a suppression that no longer suppresses anything — stale ignores
+// rot into false documentation, so mkvet garbage-collects them.
+type suppression struct {
+	pos    token.Position
+	rules  map[string]bool
+	reason string
+	used   bool
+}
+
+const suppressMarker = "mkvet:ignore"
+
+// collectSuppressions scans every file's comments for mkvet:ignore markers.
+// Malformed markers (no rule list, or no reason) are reported immediately
+// under the suppression rule.
+func collectSuppressions(m *Module, report func(d Diagnostic)) []*suppression {
+	var out []*suppression
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Ast.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//"+suppressMarker)
+					if !ok {
+						continue
+					}
+					pos := m.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						report(Diagnostic{
+							Rule:     "suppression",
+							Severity: SevWarn,
+							File:     f.Rel,
+							Line:     pos.Line,
+							Col:      pos.Column,
+							Message:  "malformed mkvet:ignore: want `//mkvet:ignore <rule>[,<rule>] <reason>` (a reason is mandatory)",
+						})
+						continue
+					}
+					s := &suppression{pos: pos, rules: map[string]bool{}, reason: strings.Join(fields[1:], " ")}
+					for _, r := range strings.Split(fields[0], ",") {
+						s.rules[r] = true
+					}
+					out = append(out, s)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// applySuppressions filters suppressed findings out of ds, marking each
+// suppression that fired, then (on full-rule runs only — a filtered run
+// cannot tell used from unused) reports the ones that never fired. The
+// suppression-hygiene findings themselves cannot be suppressed.
+func applySuppressions(ds []Diagnostic, sups []*suppression, relOf func(file string) string, reportUnused bool) []Diagnostic {
+	var kept []Diagnostic
+	for _, d := range ds {
+		suppressed := false
+		for _, s := range sups {
+			if !s.rules[d.Rule] {
+				continue
+			}
+			if relOf(s.pos.Filename) != d.File {
+				continue
+			}
+			if s.pos.Line == d.Line || s.pos.Line == d.Line-1 {
+				s.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	if !reportUnused {
+		return kept
+	}
+	for _, s := range sups {
+		if s.used {
+			continue
+		}
+		var rules []string
+		for r := range s.rules {
+			rules = append(rules, r)
+		}
+		kept = append(kept, Diagnostic{
+			Rule:     "suppression",
+			Severity: SevWarn,
+			File:     relOf(s.pos.Filename),
+			Line:     s.pos.Line,
+			Col:      s.pos.Column,
+			Message:  "unused mkvet:ignore for " + strings.Join(sortedRules(rules), ",") + ": nothing is suppressed here any more — delete the comment",
+		})
+	}
+	return kept
+}
+
+func sortedRules(rules []string) []string {
+	for i := 1; i < len(rules); i++ {
+		for j := i; j > 0 && rules[j] < rules[j-1]; j-- {
+			rules[j], rules[j-1] = rules[j-1], rules[j]
+		}
+	}
+	return rules
+}

@@ -1,0 +1,111 @@
+package vet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Type predicates are resolved against go/types objects, never against
+// source text: an aliased import, a dot import, or a named type wrapping
+// the target all match.
+
+// derefNamed unwraps pointers and aliases down to a *types.Named.
+func derefNamed(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isModuleType reports whether t (after deref) is the named type
+// <module>/<relPkg>.<name>.
+func (p *pass) isModuleType(t types.Type, relPkg, name string) bool {
+	n := derefNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == p.m.Path+"/"+relPkg && n.Obj().Name() == name
+}
+
+// isStdType reports whether t (after deref) is the named type
+// <pkgPath>.<name> from the standard library.
+func isStdType(t types.Type, pkgPath, name string) bool {
+	n := derefNamed(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == pkgPath && n.Obj().Name() == name
+}
+
+// funcFrom reports whether fn is <pkgPath>.<name> (methods use the
+// receiver's package).
+func funcFrom(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath && fn.Name() == name
+}
+
+// pkgPathOf returns the declaring package path of fn ("" for builtins).
+func pkgPathOf(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// eachFuncDecl visits every function declaration with a body in every
+// module package, excluding none — rules do their own scoping.
+func (p *pass) eachFuncDecl(fn func(pkg *Package, file *File, decl *ast.FuncDecl)) {
+	for _, pkg := range p.m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Ast.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					fn(pkg, f, fd)
+				}
+			}
+		}
+	}
+}
+
+// eachFuncBody visits every function body in the module: declarations and
+// each nested function literal, each exactly once, so per-scope analyses
+// (span-leak, lock-discipline) treat a closure as its own scope.
+func (p *pass) eachFuncBody(fn func(pkg *Package, file *File, name string, body *ast.BlockStmt)) {
+	p.eachFuncDecl(func(pkg *Package, file *File, decl *ast.FuncDecl) {
+		fn(pkg, file, decl.Name.Name, decl.Body)
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				fn(pkg, file, decl.Name.Name+" (func literal)", lit.Body)
+			}
+			return true
+		})
+	})
+}
+
+// hasCtxParam reports whether the function type carries a context: either
+// a parameter of type context.Context, or a parameter whose (possibly
+// pointer) struct type has a context.Context field — engines.RunContext
+// carries its Ctx inside the run context struct.
+func hasCtxParam(sig *types.Signature) bool {
+	for i := 0; i < sig.Params().Len(); i++ {
+		pt := sig.Params().At(i).Type()
+		if isStdType(pt, "context", "Context") {
+			return true
+		}
+		n := derefNamed(pt)
+		if n == nil {
+			continue
+		}
+		if st, ok := n.Underlying().(*types.Struct); ok {
+			for j := 0; j < st.NumFields(); j++ {
+				if isStdType(st.Field(j).Type(), "context", "Context") {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}

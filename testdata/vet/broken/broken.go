@@ -1,0 +1,8 @@
+// Package broken does not type-check: mkvet must distinguish a broken
+// tree (exit 2) from a dirty one (exit 1).
+package broken
+
+// Boom returns the wrong type on purpose.
+func Boom() int {
+	return "not an int"
+}

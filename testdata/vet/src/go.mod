@@ -1,0 +1,3 @@
+module musketeer
+
+go 1.23

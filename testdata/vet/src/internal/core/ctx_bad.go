@@ -1,0 +1,22 @@
+package core
+
+import "context"
+
+// detachedRun carries a seeded violation [context-discipline]: library
+// code minting its own root context detaches the work from the caller's
+// cancellation.
+func detachedRun(run func(context.Context) error) error {
+	return run(context.Background())
+}
+
+// AwaitDrain carries a seeded violation [context-discipline]: an exported
+// execution-stack API that blocks on a channel but accepts no context.
+func AwaitDrain(done chan struct{}) {
+	<-done
+}
+
+// StageCount carries a seeded violation [context-discipline]: it accepts a
+// context and silently drops it.
+func StageCount(ctx context.Context, stages []string) int {
+	return len(stages)
+}

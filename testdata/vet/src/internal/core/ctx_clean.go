@@ -1,0 +1,13 @@
+package core
+
+import "context"
+
+// Clean: the exported blocking API accepts a context and selects on it.
+func AwaitResult(ctx context.Context, done chan struct{}) error {
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

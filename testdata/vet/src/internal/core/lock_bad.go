@@ -1,0 +1,31 @@
+package core
+
+import (
+	"errors"
+	"sync"
+)
+
+type sessionTable struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	m  map[string]int
+}
+
+// claim carries a seeded violation [lock-discipline]: the early error
+// return leaves mu held (the happy path unlocks correctly).
+func (t *sessionTable) claim(id string) (int, error) {
+	t.mu.Lock()
+	v, ok := t.m[id]
+	if !ok {
+		return 0, errors.New("unknown session")
+	}
+	t.mu.Unlock()
+	return v, nil
+}
+
+// peek carries a seeded violation [lock-discipline]: the read lock is
+// never released on any path.
+func (t *sessionTable) peek(id string) int {
+	t.rw.RLock()
+	return t.m[id]
+}

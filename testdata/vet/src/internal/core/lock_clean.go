@@ -1,0 +1,28 @@
+package core
+
+import "sync"
+
+type counterTable struct {
+	mu sync.Mutex
+	n  map[string]int
+}
+
+// Clean: the deferred unlock covers every path.
+func (t *counterTable) bump(id string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n[id]++
+	return t.n[id]
+}
+
+// Clean: every path out releases explicitly.
+func (t *counterTable) reset(id string, hard bool) {
+	t.mu.Lock()
+	if hard {
+		delete(t.n, id)
+		t.mu.Unlock()
+		return
+	}
+	t.n[id] = 0
+	t.mu.Unlock()
+}

@@ -1,0 +1,20 @@
+package core
+
+import (
+	"errors"
+
+	"musketeer/internal/obs"
+)
+
+// decodeStage carries a seeded violation [span-leak]: the span is ended on
+// the happy path but leaks on the early error return — the
+// branch-dependent shape the old syntactic rule (which only required
+// *some* .End() somewhere in the function) provably could not see.
+func decodeStage(rec *obs.Recorder, fail bool) error {
+	sp := rec.StartSpan(nil, "decode", "exec")
+	if fail {
+		return errors.New("decode failed")
+	}
+	sp.End()
+	return nil
+}

@@ -1,0 +1,35 @@
+package core
+
+import (
+	"errors"
+
+	"musketeer/internal/obs"
+)
+
+var errNoInput = errors.New("no input")
+
+// Clean: the deferred End covers every path, including the early return.
+func guardedStage(rec *obs.Recorder, fail bool) error {
+	sp := rec.Begin("guarded")
+	defer sp.End()
+	if fail {
+		return errNoInput
+	}
+	return nil
+}
+
+// Clean: returning the span transfers ownership to the caller.
+func openSpan(rec *obs.Recorder) *obs.Span {
+	sp := rec.Begin("open")
+	return sp
+}
+
+// Clean: both branches end the span explicitly.
+func forkedStage(rec *obs.Recorder, fast bool) {
+	sp := rec.Begin("forked")
+	if fast {
+		sp.End()
+		return
+	}
+	sp.End()
+}

@@ -1,0 +1,9 @@
+package core
+
+import "musketeer/internal/obs"
+
+// fireSpan carries a seeded violation [span-leak]: the span is started and
+// immediately discarded — nothing can ever end it.
+func fireSpan(rec *obs.Recorder) {
+	rec.StartSpan(nil, "fire", "exec")
+}

@@ -1,0 +1,5 @@
+package engines
+
+// Seeded violation [engine-profile]: an Engine literal that registers no
+// prof: field enters the planner with no capability/cost profile.
+var naked = Engine{name: "naked"}

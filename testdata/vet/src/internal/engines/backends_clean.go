@@ -1,0 +1,4 @@
+package engines
+
+// Clean: the literal registers its profile.
+var profiled = Engine{name: "profiled", prof: &Profile{Startup: 1}}

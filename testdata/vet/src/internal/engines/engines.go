@@ -1,0 +1,14 @@
+// Package engines is the corpus stand-in for the back-end registry; the
+// engine-profile rule matches Engine composite literals by type identity.
+package engines
+
+// Profile carries an engine's capability/cost profile.
+type Profile struct {
+	Startup float64
+}
+
+// Engine is one registered back-end.
+type Engine struct {
+	name string
+	prof *Profile
+}

@@ -1,0 +1,37 @@
+package exec
+
+import "musketeer/internal/relation"
+
+type rowCache struct {
+	rows []relation.Row
+	last relation.Row
+}
+
+// absorb carries two seeded violations [arena-escape]: rows borrowed from
+// a batch stored into struct fields, once directly and once via append.
+func (c *rowCache) absorb(src relation.RowSource) error {
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return err
+		}
+		if b.Empty() {
+			return nil
+		}
+		for _, row := range b.Rows {
+			c.last = row
+		}
+		c.rows = append(c.rows, b.Rows...)
+	}
+}
+
+// firstRows carries a seeded violation [arena-escape]: borrowed rows
+// returned bare instead of inside a relation.Batch.
+func firstRows(src relation.RowSource) []relation.Row {
+	b, err := src.Next()
+	if err != nil {
+		return nil
+	}
+	rows := b.Rows
+	return rows
+}

@@ -1,0 +1,31 @@
+package exec
+
+import "musketeer/internal/relation"
+
+type rowKeeper struct {
+	rows []relation.Row
+}
+
+// Clean: copying a borrowed row before storing it is the contract.
+func (k *rowKeeper) keep(src relation.RowSource) error {
+	b, err := src.Next()
+	if err != nil {
+		return err
+	}
+	for _, row := range b.Rows {
+		cp := make(relation.Row, len(row))
+		copy(cp, row)
+		k.rows = append(k.rows, cp)
+	}
+	return nil
+}
+
+// Clean: returning borrowed rows inside a relation.Batch is the sanctioned
+// aliased hand-off downstream.
+func passThrough(src relation.RowSource) (relation.Batch, error) {
+	b, err := src.Next()
+	if err != nil {
+		return relation.Batch{}, err
+	}
+	return relation.Batch{Rows: b.Rows}, nil
+}

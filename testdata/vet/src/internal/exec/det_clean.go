@@ -1,0 +1,21 @@
+package exec
+
+import (
+	"time"
+
+	"musketeer/internal/sched"
+)
+
+// Clean: importing time for types and arithmetic is fine — determinism
+// bans observing the clock, not the package. The old linter banned the
+// import outright and would have false-positived on this whole file.
+func Window(d time.Duration) time.Duration {
+	return 2 * d
+}
+
+// Clean: an injected timestamp is the sanctioned pattern.
+func Age(now, then int64) int64 { return now - then }
+
+// Clean: calling into the sanctioned clock owner does not taint the
+// kernel — the traversal stops at the internal/sched boundary.
+func Stamp(start time.Time) time.Duration { return sched.Elapsed(start) }

@@ -1,0 +1,9 @@
+package exec
+
+import clock "time" // aliased: the typed pass resolves the callee anyway
+
+// StampRow carries a seeded violation [determinism]: a direct clock call
+// in a kernel package, behind an import alias.
+func StampRow() int64 {
+	return clock.Now().UnixNano()
+}

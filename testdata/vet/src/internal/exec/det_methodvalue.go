@@ -1,0 +1,10 @@
+package exec
+
+import "math/rand"
+
+// NoisyKey carries a seeded violation [determinism]: randomness taken as a
+// function value (a reference, not a call) still taints the kernel.
+func NoisyKey(seed int) int {
+	pick := rand.Int
+	return pick() & seed
+}

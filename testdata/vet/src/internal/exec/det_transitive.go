@@ -1,0 +1,11 @@
+package exec
+
+import "musketeer/internal/timeutil"
+
+// FusedStamp carries a seeded violation [determinism]: the clock is two
+// hops away (FusedStamp → timeutil.StepOne → timeutil.stepTwo → time.Now)
+// in a package the old syntactic linter never scanned. The finding must
+// carry the full witness chain.
+func FusedStamp(n int) int64 {
+	return timeutil.StepOne(n)
+}

@@ -1,0 +1,8 @@
+package exec
+
+// fireAndForget carries a seeded violation [scheduler-only-concurrency]:
+// it spawns a goroutine it never joins, so the kernel fork-join exemption
+// does not apply even inside internal/exec.
+func fireAndForget(work func()) {
+	go work()
+}

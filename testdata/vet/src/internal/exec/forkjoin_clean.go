@@ -1,0 +1,25 @@
+package exec
+
+import "sync"
+
+// Clean: contained fork-join — every goroutine is joined in the same body,
+// the sanctioned shape for data-parallel kernels.
+func parallelSum(parts [][]int64) int64 {
+	sums := make([]int64, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part []int64) {
+			defer wg.Done()
+			for _, v := range part {
+				sums[i] += v
+			}
+		}(i, part)
+	}
+	wg.Wait()
+	var total int64
+	for _, s := range sums {
+		total += s
+	}
+	return total
+}

@@ -1,0 +1,15 @@
+package exec
+
+import f "fmt" // aliased: the old linter matched the spelled name "fmt" only
+
+// KeyOf carries a seeded violation [hot-path-keys]: a formatted string key
+// built through an aliased fmt import.
+func KeyOf(a, b string) string {
+	return f.Sprintf("%s|%s", a, b)
+}
+
+// ConcatKey carries a seeded violation [hot-path-keys]: string
+// concatenation with a literal on the hot path.
+func ConcatKey(k string) string {
+	return "p:" + k
+}

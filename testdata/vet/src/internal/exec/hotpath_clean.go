@@ -1,0 +1,6 @@
+package exec
+
+// Clean: hashed keys build no strings.
+func HashKey(a, b uint64) uint64 {
+	return a*1099511628211 ^ b
+}

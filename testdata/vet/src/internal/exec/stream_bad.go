@@ -1,0 +1,16 @@
+package exec
+
+import "musketeer/internal/relation"
+
+// drainMaterialized carries a seeded violation [stream-rows]: it reads
+// .Rows of a fully materialized relation inside a streaming kernel file.
+// The parameter is named `b` on purpose — the old name-based rule exempted
+// receivers named b/batch*; the typed rule sees relation.Relation and
+// flags it anyway.
+func drainMaterialized(b relation.Relation) int {
+	n := 0
+	for range b.Rows {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package exec
+
+import "musketeer/internal/relation"
+
+// Clean: pulling batches through RowSource.Next and reading the *batch*'s
+// rows is the streaming contract. The batch variable is named `cur`, which
+// the old name-based rule would have flagged; the typed rule sees
+// relation.Batch and stays quiet.
+func countStreamed(src relation.RowSource) (int, error) {
+	n := 0
+	for {
+		cur, err := src.Next()
+		if err != nil {
+			return 0, err
+		}
+		if cur.Empty() {
+			return n, nil
+		}
+		n += len(cur.Rows)
+	}
+}

@@ -1,0 +1,19 @@
+package exec
+
+import "fmt"
+
+// Suppression corpus. The Sprintf below is a real hot-path-keys violation
+// silenced by a justified mkvet:ignore: it must NOT appear in the report.
+// The marker on staleIgnore matches nothing any more and must be reported
+// as unused; the reason-less marker on reasonless must be reported as
+// malformed.
+func debugKey(a string) string {
+	//mkvet:ignore hot-path-keys corpus: cold debug path, formatting is fine here
+	return fmt.Sprintf("debug:%s", a)
+}
+
+//mkvet:ignore span-leak corpus: stale — nothing starts a span here any more
+func staleIgnore() {}
+
+//mkvet:ignore determinism
+func reasonless() {}

@@ -1,0 +1,28 @@
+// Package obs is the corpus stand-in for the flight recorder: just enough
+// API surface (Recorder, Span, StartSpan/Begin/End) for the span-leak rule
+// to resolve *obs.Span through go/types exactly as it does in the real
+// tree. The corpus module shares the real module path, so the analyzer's
+// type matching is byte-for-byte the same code path.
+package obs
+
+// Span is one recorded interval.
+type Span struct {
+	name  string
+	ended bool
+}
+
+// End closes the span.
+func (s *Span) End() { s.ended = true }
+
+// Recorder hands out spans.
+type Recorder struct{}
+
+// StartSpan opens a child span.
+func (r *Recorder) StartSpan(parent *Span, name, category string) *Span {
+	_ = parent
+	_ = category
+	return &Span{name: name}
+}
+
+// Begin opens a root span.
+func (r *Recorder) Begin(name string) *Span { return &Span{name: name} }

@@ -1,0 +1,35 @@
+// Package relation is the corpus stand-in for the row/batch layer; the
+// arena-escape and stream-rows rules match Batch, Relation, and RowSource
+// by module path and type identity, never by variable name.
+package relation
+
+// Value is one cell.
+type Value struct {
+	S string
+	I int64
+}
+
+// Row is one tuple of cells.
+type Row []Value
+
+// Schema names a relation's columns.
+type Schema struct{ Cols []string }
+
+// Relation is a fully materialized table.
+type Relation struct {
+	Sch  Schema
+	Rows []Row
+}
+
+// Batch is a bounded view of rows whose backing arena is recycled on the
+// producing stage's next Next call.
+type Batch struct{ Rows []Row }
+
+// Empty reports whether the batch carries no rows (end of stream).
+func (b Batch) Empty() bool { return len(b.Rows) == 0 }
+
+// RowSource is the pull-based streaming interface.
+type RowSource interface {
+	Schema() Schema
+	Next() (Batch, error)
+}

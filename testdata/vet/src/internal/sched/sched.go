@@ -1,0 +1,27 @@
+// Package sched is the corpus stand-in for the scheduler: the one package
+// where goroutines and WaitGroups are sanctioned, and a determinism-exempt
+// clock owner — the taint traversal stops at this package's boundary.
+package sched
+
+import (
+	"sync"
+	"time"
+)
+
+// forEach runs fn(0..n-1) concurrently and joins before returning. It
+// exercises the package-level concurrency exemption: no findings here.
+func forEach(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Elapsed observes the wall clock inside a sanctioned clock owner; kernel
+// callers of this function stay clean because traversal stops here.
+func Elapsed(start time.Time) time.Duration { return time.Since(start) }

@@ -1,0 +1,17 @@
+// Package timeutil sits deliberately outside the kernel directories: the
+// old syntactic linter only scanned internal/exec and internal/relation
+// for `import "time"`, so a clock reached through this package was
+// invisible to it. The determinism pass walks the typed call graph and
+// reports the full kernel → StepOne → stepTwo → time.Now witness chain.
+package timeutil
+
+import "time"
+
+// StepOne is hop one of the seeded transitive chain.
+func StepOne(n int) int64 { return stepTwo(n) }
+
+// stepTwo is hop two; it is the frame that actually touches the clock.
+func stepTwo(n int) int64 {
+	_ = n
+	return time.Now().UnixNano()
+}
