@@ -30,6 +30,10 @@
 #   streaming bench   — mkbench -streaming end to end at reduced size: the
 #                       fused pipeline, WHILE-body peak-memory comparison,
 #                       and columnar codec must all still run and report
+#   calibration gate  — a fresh 3-round mkbench -accuracy run must still
+#                       converge (round-3 mean |makespan error| below
+#                       round 1) and stay within 25% of the committed
+#                       BENCH_accuracy.json per-workflow errors
 #
 # Every stage is timed; the summary prints per-stage wall seconds.
 set -eu
@@ -89,8 +93,20 @@ stage "chaos golden"               go test -count=1 -run 'TestChaosGolden' .
 stage "obs disabled-path alloc guard" go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
 stage "flaky gate (3x shuffled concurrency/sched/chaos)" \
     go test -short -count=3 -shuffle=on -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
+calibration_gate() {
+    # The fresh run mirrors how the committed baseline is produced
+    # (`go run ./cmd/mkbench -accuracy -rounds 3 -accuracy-json
+    # BENCH_accuracy.json`) — learning trajectories depend on the case mix,
+    # so gating on a subset would compare different experiments.
+    go run ./cmd/mkbench -accuracy -rounds 3 \
+        -accuracy-json /tmp/mk_accuracy_fresh.json > /dev/null
+    go run ./cmd/mkbenchgate -accuracy BENCH_accuracy.json \
+        -fresh-accuracy /tmp/mk_accuracy_fresh.json
+}
+
 stage "benchmark regression gate"  bench_gate
 stage "streaming benchmark"        streaming_gate
+stage "calibration convergence gate" calibration_gate
 stage "go test -race"              go test -race ./...
 
 echo "== stage times =="

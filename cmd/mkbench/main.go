@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"musketeer/internal/bench"
@@ -25,6 +26,8 @@ func main() {
 	concurrencyJSON := flag.String("concurrency-json", "", "write the concurrency benchmark report to this JSON file (e.g. BENCH_concurrency.json)")
 	accuracy := flag.Bool("accuracy", false, "run the estimator-accuracy benchmark (predicted vs simulated makespan per workflow)")
 	accuracyJSON := flag.String("accuracy-json", "", "write the accuracy benchmark report to this JSON file (e.g. BENCH_accuracy.json)")
+	accuracyRounds := flag.Int("rounds", 3, "accuracy: learning rounds sharing one history/calibration store (1 = no learning)")
+	accuracyCases := flag.String("accuracy-cases", "", "accuracy: comma-separated case-name substrings to run (empty = all)")
 	streaming := flag.Bool("streaming", false, "run the streaming-execution benchmark (fused vs materialized throughput, peak memory, codec sizes)")
 	streamingRows := flag.Int("streaming-rows", 0, "input rows for the streaming chain benchmark (0 = default)")
 	streamingJSON := flag.String("streaming-json", "", "write the streaming benchmark report to this JSON file (e.g. BENCH_streaming.json)")
@@ -65,17 +68,31 @@ func main() {
 	}
 
 	if *accuracy || *accuracyJSON != "" {
-		rep, err := bench.RunAccuracy()
+		var filter []string
+		if *accuracyCases != "" {
+			filter = strings.Split(*accuracyCases, ",")
+		}
+		rep, err := bench.RunAccuracy(*accuracyRounds, filter)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "accuracy:", err)
 			os.Exit(1)
+		}
+		for _, r := range rep.Rounds {
+			fmt.Printf("accuracy round %d/%d: mean |makespan error| %.1f%%\n",
+				r.Round, len(rep.Rounds), 100*r.Summary.MeanAbsMakespanError)
 		}
 		for _, w := range rep.Workflows {
 			fmt.Printf("accuracy %-22s %s\n", w.Workflow, w)
 		}
 		s := rep.Summary
-		fmt.Printf("accuracy summary: %d workflows, %d jobs, mean makespan error %+.0f%%, mean |makespan error| %.0f%%, worst %.0f%%\n",
+		fmt.Printf("accuracy summary (final round): %d workflows, %d jobs, mean makespan error %+.0f%%, mean |makespan error| %.0f%%, worst %.0f%%\n",
 			s.Workflows, s.Jobs, 100*s.MeanMakespanError, 100*s.MeanAbsMakespanError, 100*s.WorstAbsMakespanError)
+		if l := rep.Learning; l != nil {
+			for _, f := range l.Flips {
+				fmt.Printf("accuracy engine flip: %s %s: %s (%.1fs) -> %s (%.1fs) at round %d\n",
+					f.Workflow, f.Job, f.From, f.BeforeActualS, f.To, f.AfterActualS, f.Round)
+			}
+		}
 		if *accuracyJSON != "" {
 			if err := bench.WriteAccuracyJSON(*accuracyJSON, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "accuracy:", err)

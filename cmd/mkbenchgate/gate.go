@@ -197,6 +197,65 @@ func loadConcurrencyReport(path string) (*bench.ConcurrencyReport, error) {
 	return &rep, nil
 }
 
+// CompareAccuracy gates the estimator's calibration loop. Two checks:
+// the fresh multi-round run must still converge (final-round mean
+// |makespan error| strictly below round 1's — learning that stops helping
+// is a regression even if absolute error looks fine), and each fresh
+// final-round workflow's |makespan error| must not exceed the committed
+// baseline's by more than the relative threshold plus two percentage
+// points of absolute slack (errors near zero would otherwise make any
+// relative allowance vanishingly strict). Workflows are matched by name so
+// a gate run over a case subset compares only what it ran.
+func CompareAccuracy(fresh, baseline *bench.AccuracyReport, threshold float64) []Regression {
+	var regs []Regression
+	if l := fresh.Learning; l != nil && len(l.MeanAbsErrorByRound) > 1 {
+		first := l.MeanAbsErrorByRound[0]
+		final := l.MeanAbsErrorByRound[len(l.MeanAbsErrorByRound)-1]
+		if final >= first {
+			regs = append(regs, Regression{
+				Name: "accuracy/convergence", Metric: "mean |error|",
+				Fresh: final, Baseline: first, Allowed: first,
+			})
+		}
+	}
+	base := map[string]float64{}
+	for _, w := range baseline.Workflows {
+		base[w.Workflow] = abs(w.MakespanError)
+	}
+	for _, w := range fresh.Workflows {
+		b, ok := base[w.Workflow]
+		if !ok {
+			continue
+		}
+		if allowed := b*(1+threshold) + 0.02; abs(w.MakespanError) > allowed {
+			regs = append(regs, Regression{
+				Name: "accuracy/" + w.Workflow, Metric: "|makespan error|",
+				Fresh: abs(w.MakespanError), Baseline: b, Allowed: allowed,
+			})
+		}
+	}
+	return regs
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func loadAccuracyReport(path string) (*bench.AccuracyReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep bench.AccuracyReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
 func loadStreamingReport(path string) (*bench.StreamingReport, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {

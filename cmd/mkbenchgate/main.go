@@ -15,6 +15,14 @@
 //
 //	mkbench -concurrency 2 -concurrency-json /tmp/fresh.json
 //	mkbenchgate -concurrency BENCH_concurrency.json -fresh-concurrency /tmp/fresh.json
+//
+// Accuracy gate — fresh `mkbench -accuracy` multi-round report vs
+// BENCH_accuracy.json (the calibration loop must still converge, and no
+// workflow's final-round |makespan error| may exceed the baseline's beyond
+// the threshold):
+//
+//	mkbench -accuracy -rounds 3 -accuracy-json /tmp/fresh.json
+//	mkbenchgate -accuracy BENCH_accuracy.json -fresh-accuracy /tmp/fresh.json
 package main
 
 import (
@@ -29,6 +37,8 @@ func main() {
 	benchOut := flag.String("bench", "", `fresh "go test -bench -benchmem" output file ("-" = stdin)`)
 	concurrency := flag.String("concurrency", "", "committed concurrency baseline (BENCH_concurrency.json)")
 	freshConcurrency := flag.String("fresh-concurrency", "", "fresh concurrency report (mkbench -concurrency-json)")
+	accuracy := flag.String("accuracy", "", "committed accuracy baseline (BENCH_accuracy.json)")
+	freshAccuracy := flag.String("fresh-accuracy", "", "fresh accuracy report (mkbench -accuracy-json)")
 	threshold := flag.Float64("threshold", 25, "allowed regression in percent")
 	flag.Parse()
 
@@ -85,8 +95,30 @@ func main() {
 		ran = true
 	}
 
+	if *accuracy != "" || *freshAccuracy != "" {
+		if *accuracy == "" || *freshAccuracy == "" {
+			fail("accuracy gate needs both -accuracy and -fresh-accuracy")
+		}
+		base, err := loadAccuracyReport(*accuracy)
+		if err != nil {
+			fail("%v", err)
+		}
+		fresh, err := loadAccuracyReport(*freshAccuracy)
+		if err != nil {
+			fail("%v", err)
+		}
+		rounds := 1
+		if fresh.Learning != nil {
+			rounds = fresh.Learning.Rounds
+		}
+		fmt.Printf("accuracy gate: %d workflow(s) over %d round(s), fresh final mean |error| %.1f%% vs baseline %.1f%%, threshold %.0f%%\n",
+			len(fresh.Workflows), rounds, 100*fresh.Summary.MeanAbsMakespanError, 100*base.Summary.MeanAbsMakespanError, *threshold)
+		regs = append(regs, CompareAccuracy(fresh, base, th)...)
+		ran = true
+	}
+
 	if !ran {
-		fail("nothing to gate: pass -kernels/-bench and/or -concurrency/-fresh-concurrency")
+		fail("nothing to gate: pass -kernels/-bench, -concurrency/-fresh-concurrency and/or -accuracy/-fresh-accuracy")
 	}
 	if len(regs) > 0 {
 		for _, r := range regs {

@@ -37,6 +37,7 @@ import (
 	"strings"
 
 	"musketeer"
+	"musketeer/internal/obs"
 	"musketeer/internal/relation"
 )
 
@@ -82,6 +83,8 @@ func run(name string, args []string, statsMode bool) int {
 	gasEdges := fs.String("gas-edges", "edges", "GAS front-end: edge table name")
 	gasOutput := fs.String("gas-output", "result", "GAS front-end: output relation name")
 	historyPath := fs.String("history", "", "workflow-history file: loaded before planning, saved after the run (estimator accuracy is persisted alongside as <file>.accuracy.json)")
+	calibratePath := fs.String("calibrate", "", "calibration-state file: learned rates/selectivities loaded before planning, saved after the run (a -history file already carries this state inline)")
+	adaptiveWhile := fs.Bool("adaptive-while", false, "let WHILE loops re-plan mid-run when an iteration diverges >2x from the estimate")
 	mtbf := fs.Float64("faults-mtbf", 0, "inject worker failures with this cluster-wide MTBF (simulated seconds)")
 	faultRate := fs.Float64("fault-rate", 0, "inject the full chaos plan (job crashes, worker faults, stragglers, DFS read failures) at this many expected faults per simulated hour")
 	chaosSeed := fs.Int64("chaos-seed", 7, "seed for the -fault-rate chaos plan (same seed = same faults)")
@@ -128,7 +131,15 @@ func run(name string, args []string, statsMode bool) int {
 	if *columnar {
 		opts = append(opts, musketeer.WithColumnarShuffles())
 	}
+	if *adaptiveWhile {
+		opts = append(opts, musketeer.WithAdaptiveWhile())
+	}
 	m := musketeer.New(opts...)
+	if *calibratePath != "" {
+		if err := m.Calibration().LoadFile(*calibratePath); err != nil {
+			fail("calibrate: %v", err)
+		}
+	}
 	cat := musketeer.Catalog{}
 	for name, file := range tables {
 		data, err := os.ReadFile(file)
@@ -231,6 +242,11 @@ func run(name string, args []string, statsMode bool) int {
 			fail("accuracy: %v", err)
 		}
 	}
+	if *calibratePath != "" {
+		if err := m.Calibration().SaveFile(*calibratePath); err != nil {
+			fail("calibrate: %v", err)
+		}
+	}
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
@@ -262,6 +278,17 @@ func run(name string, args []string, statsMode bool) int {
 			fmt.Printf("  %-10s %-30s predicted %8.1fs actual %8.1fs error %+6.0f%%\n",
 				j.Engine, j.Job, j.PredictedS, j.ActualS, 100*j.Error)
 		}
+		printCalibration(m.Calibration().Snapshot())
+		if rates := obs.PhaseRates(res.Flight); len(rates) > 0 {
+			fmt.Println("observed phase rates (this run):")
+			for _, pr := range rates {
+				line := fmt.Sprintf("  %-10s %-8s %2d span(s) %8.1fs simulated", pr.Engine, pr.Phase, pr.Samples, pr.SimSeconds)
+				if pr.MBps > 0 {
+					line += fmt.Sprintf("  %8.1f MB/s/node-eq", pr.MBps)
+				}
+				fmt.Println(line)
+			}
+		}
 		return 0
 	}
 
@@ -289,6 +316,46 @@ func run(name string, args []string, statsMode bool) int {
 		fmt.Println()
 	}
 	return 0
+}
+
+// printCalibration renders the learned-rate summary of the stats
+// subcommand: every engine rate and operator-class selectivity that has
+// accumulated feedback evidence, against its Table-1 / first-run seed.
+func printCalibration(snap musketeer.CalibrationSnapshot) {
+	if snap.Version == 0 {
+		return
+	}
+	fmt.Printf("calibration (version %d):\n", snap.Version)
+	for _, ec := range snap.Engines {
+		if ec.Samples == 0 {
+			continue
+		}
+		fmt.Printf("  %-10s %d run(s):", ec.Engine, ec.Samples)
+		for _, f := range [...]struct {
+			name         string
+			seed, learnt float64
+		}{
+			{"overhead_s", ec.Seed.OverheadS, ec.Learned.OverheadS},
+			{"pull", ec.Seed.PullMBps, ec.Learned.PullMBps},
+			{"load", ec.Seed.LoadMBps, ec.Learned.LoadMBps},
+			{"proc", ec.Seed.ProcMBps, ec.Learned.ProcMBps},
+			{"graph_proc", ec.Seed.GraphProcMBps, ec.Learned.GraphProcMBps},
+			{"push", ec.Seed.PushMBps, ec.Learned.PushMBps},
+			{"shuffle", ec.Seed.ShuffleMBps, ec.Learned.ShuffleMBps},
+		} {
+			if f.seed == 0 && f.learnt == 0 {
+				continue
+			}
+			fmt.Printf(" %s=%.1f->%.1f", f.name, f.seed, f.learnt)
+		}
+		fmt.Println()
+	}
+	for _, sc := range snap.Selectivities {
+		if sc.Samples == 0 {
+			continue
+		}
+		fmt.Printf("  selectivity %-10s %d obs: %.3f->%.3f\n", sc.Class, sc.Samples, sc.Seed, sc.Learned)
+	}
 }
 
 func clusterOption(spec string) musketeer.Option {

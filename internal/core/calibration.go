@@ -1,0 +1,297 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"musketeer/internal/cluster"
+	"musketeer/internal/engines"
+	"musketeer/internal/ir"
+)
+
+// The paper calibrates the cost model once per cluster (§5.2, Table 1) and
+// then trusts the constants forever. Calibration makes that continuous: a
+// versioned, concurrency-safe store of per-engine phase rates and
+// per-operator-class selectivities, seeded from the Table-1 profiles and
+// the conservative hiBound factors, refined after every execution from
+// observed phase breakdowns and per-operator size ratios. Updates are
+// damped exponential moving averages — one noisy run nudges the model, it
+// cannot wreck it — and every update bumps a version so estimator memo
+// tables know their cached scores are stale.
+
+const (
+	// SelectivityDamping is the EWMA step for per-class output ratios.
+	// 0.5 halves the distance between model and observation per update:
+	// convergence is geometric (error shrinks monotonically across learning
+	// rounds) yet a single outlier moves the model at most halfway.
+	SelectivityDamping = 0.5
+	// RateDamping is the (more cautious) EWMA step for phase rates:
+	// observed rates fold in systematic residuals like codegen tax, but a
+	// single straggling or tiny-volume job should barely register.
+	RateDamping = 0.3
+	// rateClampFactor bounds learned rates to [seed/8, seed·8]: no stream
+	// of observations, however corrupt, can drive a rate to zero, negative,
+	// or absurd — cost-model invariants (strictly positive rates, monotone
+	// estimates) survive arbitrary update sequences.
+	rateClampFactor = 8.0
+	// maxSelectivity bounds a learned class ratio: cross joins legitimately
+	// blow up output sizes, but no class model should exceed the worst
+	// conservative bound by more than an order of magnitude.
+	maxSelectivity = 250.0
+)
+
+// EngineCalibration is one engine's seed vs learned phase rates.
+type EngineCalibration struct {
+	Engine  string        `json:"engine"`
+	Seed    engines.Rates `json:"seed"`
+	Learned engines.Rates `json:"learned"`
+	Samples int           `json:"samples"`
+}
+
+// SelectivityCalibration is one operator class's seed vs learned
+// output-size ratio.
+type SelectivityCalibration struct {
+	Class   string  `json:"class"`
+	Seed    float64 `json:"seed"`
+	Learned float64 `json:"learned"`
+	Samples int     `json:"samples"`
+}
+
+// CalibrationSnapshot is a point-in-time copy of the store, used for
+// display (mkcalibrate, musketeer stats) and JSON persistence.
+type CalibrationSnapshot struct {
+	Version       uint64                   `json:"version"`
+	UpdatedAt     time.Time                `json:"updated_at,omitempty"`
+	Engines       []EngineCalibration      `json:"engines,omitempty"`
+	Selectivities []SelectivityCalibration `json:"selectivities,omitempty"`
+}
+
+// Calibration is the feedback-calibration state. Safe for concurrent use;
+// the zero-observation state is indistinguishable from the Table-1 seed
+// (Rates returns SeedRates exactly, Selectivity reports no evidence).
+type Calibration struct {
+	mu      sync.RWMutex
+	version atomic.Uint64
+	engs    map[string]*EngineCalibration
+	sels    map[string]*SelectivityCalibration
+	// updatedAt stamps when evidence last arrived — provenance for
+	// persisted state and CLI display; it never feeds a cost estimate.
+	updatedAt time.Time
+}
+
+// NewCalibration returns a store holding only seeds.
+func NewCalibration() *Calibration {
+	return &Calibration{
+		engs: map[string]*EngineCalibration{},
+		sels: map[string]*SelectivityCalibration{},
+	}
+}
+
+// Version returns the update counter. Estimators key their memo tables on
+// it: a bump means cached fragment scores were computed on stale rates.
+func (c *Calibration) Version() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.version.Load()
+}
+
+// UpdatedAt reports when evidence last arrived (zero time = never).
+func (c *Calibration) UpdatedAt() time.Time {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.updatedAt
+}
+
+// touch stamps the provenance clock on an update. The calibration path
+// owns this wall-clock read by design (the determinism rule's exempt-
+// clock-owner set sanctions it): the stamp annotates persisted state and
+// CLI output only — no cost estimate ever reads it.
+func (c *Calibration) touch() {
+	c.updatedAt = time.Now()
+}
+
+// Rates returns the engine's current phase rates: the learned values once
+// evidence exists, the exact Table-1 seed otherwise.
+func (c *Calibration) Rates(eng *engines.Engine) engines.Rates {
+	if c == nil {
+		return eng.SeedRates()
+	}
+	c.mu.RLock()
+	ec, ok := c.engs[eng.Name()]
+	c.mu.RUnlock()
+	if !ok || ec.Samples == 0 {
+		return eng.SeedRates()
+	}
+	return ec.Learned
+}
+
+// Selectivity returns the learned output-size ratio for an operator class,
+// reporting ok only when at least one observation has been folded in.
+func (c *Calibration) Selectivity(t ir.OpType) (float64, bool) {
+	if c == nil {
+		return 0, false
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	sc, ok := c.sels[t.String()]
+	if !ok || sc.Samples == 0 {
+		return 0, false
+	}
+	return sc.Learned, true
+}
+
+// SelectivityPrior returns the ratio the planner would currently assume
+// for an operator class: the learned value when evidence exists, the
+// conservative hiBound otherwise. It is the prior that damped history
+// observations ease away from.
+func (c *Calibration) SelectivityPrior(t ir.OpType) float64 {
+	if s, ok := c.Selectivity(t); ok {
+		return s
+	}
+	return hiBound(t)
+}
+
+// ObserveSelectivity folds one observed output/input ratio into the class
+// model with the damped update learned += α·(observed − learned), seeding
+// from the conservative hiBound on first evidence.
+func (c *Calibration) ObserveSelectivity(t ir.OpType, ratio float64) {
+	if c == nil || ratio < 0 || ratio != ratio || ratio > maxSelectivity {
+		return
+	}
+	key := t.String()
+	c.mu.Lock()
+	sc, ok := c.sels[key]
+	if !ok {
+		sc = &SelectivityCalibration{Class: key, Seed: hiBound(t), Learned: hiBound(t)}
+		c.sels[key] = sc
+	}
+	sc.Learned += SelectivityDamping * (ratio - sc.Learned)
+	sc.Samples++
+	c.touch()
+	c.version.Add(1)
+	c.mu.Unlock()
+}
+
+// ObserveRates folds one job's observed phase rates into the engine model.
+// Zero fields carry no signal and are skipped; every learned rate is
+// clamped to [seed/clamp, seed·clamp], so rates stay strictly positive
+// under any observation sequence.
+func (c *Calibration) ObserveRates(eng *engines.Engine, obs engines.Rates) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	ec, ok := c.engs[eng.Name()]
+	if !ok {
+		seed := eng.SeedRates()
+		ec = &EngineCalibration{Engine: eng.Name(), Seed: seed, Learned: seed}
+		c.engs[eng.Name()] = ec
+	}
+	fields := []struct {
+		seed, learned, obs *float64
+	}{
+		{&ec.Seed.OverheadS, &ec.Learned.OverheadS, &obs.OverheadS},
+		{&ec.Seed.PullMBps, &ec.Learned.PullMBps, &obs.PullMBps},
+		{&ec.Seed.LoadMBps, &ec.Learned.LoadMBps, &obs.LoadMBps},
+		{&ec.Seed.ProcMBps, &ec.Learned.ProcMBps, &obs.ProcMBps},
+		{&ec.Seed.GraphProcMBps, &ec.Learned.GraphProcMBps, &obs.GraphProcMBps},
+		{&ec.Seed.PushMBps, &ec.Learned.PushMBps, &obs.PushMBps},
+		{&ec.Seed.ShuffleMBps, &ec.Learned.ShuffleMBps, &obs.ShuffleMBps},
+	}
+	for _, f := range fields {
+		o := *f.obs
+		if o <= 0 || o != o || *f.seed <= 0 {
+			continue // no signal, or the engine has no such phase
+		}
+		v := *f.learned + RateDamping*(o-*f.learned)
+		if lo := *f.seed / rateClampFactor; v < lo {
+			v = lo
+		}
+		if hi := *f.seed * rateClampFactor; v > hi {
+			v = hi
+		}
+		*f.learned = v
+	}
+	ec.Samples++
+	c.touch()
+	c.version.Add(1)
+	c.mu.Unlock()
+}
+
+// ObserveRun extracts the effective phase rates one executed job achieved
+// and folds them in — the runner's post-execution feedback hook.
+func (c *Calibration) ObserveRun(eng *engines.Engine, cl *cluster.Cluster, res *engines.RunResult) {
+	c.ObserveRates(eng, eng.ObservedRates(cl, res))
+}
+
+// Snapshot copies the store for display or persistence, engines and
+// classes sorted by name.
+func (c *Calibration) Snapshot() CalibrationSnapshot {
+	if c == nil {
+		return CalibrationSnapshot{}
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	snap := CalibrationSnapshot{Version: c.version.Load(), UpdatedAt: c.updatedAt}
+	for _, ec := range c.engs {
+		snap.Engines = append(snap.Engines, *ec)
+	}
+	for _, sc := range c.sels {
+		snap.Selectivities = append(snap.Selectivities, *sc)
+	}
+	sort.Slice(snap.Engines, func(i, j int) bool { return snap.Engines[i].Engine < snap.Engines[j].Engine })
+	sort.Slice(snap.Selectivities, func(i, j int) bool { return snap.Selectivities[i].Class < snap.Selectivities[j].Class })
+	return snap
+}
+
+// restore replaces the store's contents with a snapshot (persistence
+// load); the version counter resumes from the snapshot's.
+func (c *Calibration) restore(snap CalibrationSnapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.engs = map[string]*EngineCalibration{}
+	for i := range snap.Engines {
+		ec := snap.Engines[i]
+		c.engs[ec.Engine] = &ec
+	}
+	c.sels = map[string]*SelectivityCalibration{}
+	for i := range snap.Selectivities {
+		sc := snap.Selectivities[i]
+		c.sels[sc.Class] = &sc
+	}
+	c.updatedAt = snap.UpdatedAt
+	c.version.Store(snap.Version)
+}
+
+// SaveFile writes the calibration state as indented JSON.
+func (c *Calibration) SaveFile(path string) error {
+	data, err := json.MarshalIndent(c.Snapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("calibration: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadFile replaces the state from a file written by SaveFile; a missing
+// file is a no-op so first runs need no setup.
+func (c *Calibration) LoadFile(path string) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var snap CalibrationSnapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("calibration: %s: %w", path, err)
+	}
+	c.restore(snap)
+	return nil
+}

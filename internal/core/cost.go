@@ -61,6 +61,11 @@ type Estimator struct {
 	sizes  map[*ir.Op]int64
 	iters  map[*ir.Op]int
 	inputs map[string]int64 // DFS path -> effective bytes
+	// opObs caches each operator's history observation found during size
+	// propagation, so volume accounting can prefer damped measured
+	// per-iteration volumes (Observation.ProcBytes et al.) over the
+	// in+out structural model.
+	opObs map[*ir.Op]Observation
 	// hashes caches DAG hashes (top-level and WHILE bodies) for history
 	// lookups.
 	hashes map[*ir.DAG]string
@@ -80,6 +85,13 @@ type Estimator struct {
 	// repartitions (a DISTINCT over already-unique rows, a SORT over
 	// already-ordered rows, an AGG whose groups are single rows).
 	props map[*ir.Op]analysis.Props
+	// cal is the history's feedback-calibration state: fragment scores run
+	// on its learned per-engine rates, and size propagation falls back to
+	// its learned per-class selectivities where no per-operator history
+	// exists. calVer is the calibration version the memo table was filled
+	// under; a bump invalidates memoized choices (see syncCalibration).
+	cal    *Calibration
+	calVer atomic.Uint64
 
 	// fragCache memoizes the cheapest engine/cost per (engine set, op
 	// group): partition searches — exhaustive branches, the DP heuristic's
@@ -114,11 +126,14 @@ func NewEstimator(dag *ir.DAG, fs *dfs.DFS, c *cluster.Cluster, h *History) (*Es
 		sizes:     map[*ir.Op]int64{},
 		iters:     map[*ir.Op]int{},
 		inputs:    map[string]int64{},
+		opObs:     map[*ir.Op]Observation{},
 		hashes:    map[*ir.DAG]string{},
 		reach:     map[*ir.Op]map[*ir.Op]bool{},
 		fragCache: map[string]fragChoice{},
 		props:     analysis.PropagateProperties(dag),
+		cal:       h.Calibration(),
 	}
+	est.calVer.Store(est.cal.Version())
 	if fs != nil {
 		for _, path := range collectInputPaths(dag, nil) {
 			st, err := fs.Stat(path)
@@ -225,8 +240,20 @@ func (e *Estimator) propagate(d *ir.DAG, outerSizes map[string]int64) error {
 			for _, p := range op.Inputs {
 				in += e.sizes[p]
 			}
+			// Refinement ladder (§5.2 made continuous): a per-operator
+			// observation from this workflow's own history beats the learned
+			// per-class selectivity, which beats the conservative first-run
+			// bound. Within an observation, a damped measured volume beats
+			// the ratio (ratios compound wrongly through iterative bodies).
 			if obs, ok := e.History.Lookup(e.hashes[d], op.ID); ok {
-				e.sizes[op] = int64(obs.OutRatio * float64(in))
+				e.opObs[op] = obs
+				if obs.OutBytes > 0 {
+					e.sizes[op] = obs.OutBytes
+				} else {
+					e.sizes[op] = int64(obs.OutRatio * float64(in))
+				}
+			} else if sel, ok := e.cal.Selectivity(op.Type); ok {
+				e.sizes[op] = int64(sel * float64(in))
 			} else {
 				e.sizes[op] = int64(hiBound(op.Type) * float64(in))
 			}
@@ -313,7 +340,34 @@ func (e *Estimator) FragmentCost(f *ir.Fragment, eng *engines.Engine) cluster.Se
 		v.Push += s
 	}
 	e.addOpVolumes(&v, f.ComputeOps(), eng, 1)
-	return e.withRecovery(eng, len(f.ComputeOps()), eng.EstimateCost(e.Cluster, v))
+	return e.withRecovery(eng, len(f.ComputeOps()), e.estimate(eng, v))
+}
+
+// estimate scores the volumes on the engine at the calibration state's
+// current rates. With no observations the rates are the Table-1 seed and
+// the result is bit-identical to EstimateCost.
+func (e *Estimator) estimate(eng *engines.Engine, v engines.Volumes) cluster.Seconds {
+	return eng.EstimateCostRates(e.Cluster, v, e.cal.Rates(eng))
+}
+
+// syncCalibration flushes the fragment memo when the calibration version
+// has moved since the memo was filled: learned rates change fragment
+// scores, so cached choices computed on stale rates must not be reused.
+// Called on the memo read path (groupChoice); the fast path is one atomic
+// load. Note size propagation is NOT redone here — sizes refresh on the
+// next propagate (a new estimator or WithInputSizes), while rate changes
+// take effect on the very next score.
+func (e *Estimator) syncCalibration() {
+	v := e.cal.Version()
+	if e.calVer.Load() == v {
+		return
+	}
+	e.fragMu.Lock()
+	if e.calVer.Load() != v {
+		e.fragCache = map[string]fragChoice{}
+		e.calVer.Store(v)
+	}
+	e.fragMu.Unlock()
 }
 
 // withRecovery adds the engine's expected fault-recovery cost (paper
@@ -336,11 +390,37 @@ func (e *Estimator) addOpVolumes(v *engines.Volumes, ops []*ir.Op, eng *engines.
 		if op.Type == ir.OpInput {
 			continue
 		}
+		out := e.sizes[op]
+		if obs, ok := e.opObs[op]; ok && obs.ProcBytes > 0 {
+			// Damped measured volumes: charge what the engine's PROCESS
+			// phase actually charged for this operator (its accounting —
+			// unconditional shuffle surcharge included — is the ground
+			// truth the estimate is converging toward).
+			b := obs.ProcBytes * iters
+			if ir.IsShuffleOp(op.Type) {
+				b = int64(float64(b) * shuf)
+				v.Shuffle += obs.InBytes * iters
+			}
+			v.Proc += b
+			if op.Type == ir.OpAgg {
+				v.AggProc += b
+			}
+			if gen := obs.ProcBytes - obs.InBytes; gen > 0 {
+				v.Gen += gen * iters
+			}
+			peak := out
+			if op.Type == ir.OpCrossJoin {
+				peak = int64(float64(peak) * blowup)
+			}
+			if peak > v.Peak {
+				v.Peak = peak
+			}
+			continue
+		}
 		var in int64
 		for _, p := range op.Inputs {
 			in += e.sizes[p]
 		}
-		out := e.sizes[op]
 		b := (in + out) * iters
 		if ir.IsShuffleOp(op.Type) && !e.redundantShuffle(op) {
 			b = int64(float64(b) * shuf)
@@ -419,7 +499,7 @@ func (e *Estimator) whileCost(w *ir.Op, eng *engines.Engine) cluster.Seconds {
 			v.Pull += e.sizes[in]
 		}
 		e.addOpVolumes(&v, body.Ops, eng, int64(iters))
-		return e.withRecovery(eng, len(body.Ops)*iters, eng.EstimateCost(e.Cluster, v))
+		return e.withRecovery(eng, len(body.Ops)*iters, e.estimate(eng, v))
 	}
 	// Driver-looped: partition the body for this engine and pay the whole
 	// per-iteration pipeline every round.

@@ -20,6 +20,14 @@ func Explain(part *Partitioning, est *Estimator, candidates []*engines.Engine) s
 		algo = "exhaustive search"
 	}
 	fmt.Fprintf(&b, "partitioning: %d job(s), estimated total %v (%s)\n", len(part.Jobs), part.Cost, algo)
+	// With accumulated evidence (calibration updates or workflow history),
+	// also render what a first-run planner would have chosen, so the
+	// learning delta — pre- vs post-learning engine and estimate — is
+	// visible per job.
+	var seed *Estimator
+	if est.cal.Version() > 0 || est.History.Coverage(est.DAGHash(est.dag)) > 0 {
+		seed, _ = est.SeedView()
+	}
 	for i, job := range part.Jobs {
 		fmt.Fprintf(&b, "\njob %d: %s\n", i+1, job.Frag)
 		v := explainVolumes(est, job.Frag, job.Engine)
@@ -50,6 +58,17 @@ func Explain(part *Partitioning, est *Estimator, candidates []*engines.Engine) s
 			b.WriteString(cell)
 		}
 		b.WriteByte('\n')
+		if seed != nil {
+			preEng, preCost := bestEngine(seed, job.Frag, candidates)
+			post := est.FragmentCost(job.Frag, job.Engine)
+			if preEng != nil && preEng.Name() != job.Engine.Name() {
+				fmt.Fprintf(&b, "  learning delta: pre-learning choice %s (%v) -> calibrated choice %s (%v)\n",
+					preEng.Name(), preCost, job.Engine.Name(), post)
+			} else if preEng != nil {
+				fmt.Fprintf(&b, "  learning delta: choice unchanged (%s), estimate %v -> %v\n",
+					preEng.Name(), preCost, post)
+			}
+		}
 	}
 	return b.String()
 }

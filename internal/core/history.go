@@ -24,6 +24,18 @@ type Observation struct {
 	OutRatio float64 `json:"out_ratio"`
 	// Iterations records how many times a WHILE operator looped.
 	Iterations int `json:"iterations,omitempty"`
+	// InBytes / OutBytes / ProcBytes are damped absolute per-iteration
+	// volumes from the engine trace: consumed input, produced output, and
+	// what the engine's PROCESS phase actually charged. Chained ratios
+	// cannot reproduce iterative fixed points (a per-vertex aggregation
+	// emits vertex-count bytes regardless of message volume, so a ratio
+	// model compounds the error every round); absolute volumes anchor
+	// repeat runs of the same workflow to measured truth, while OutRatio
+	// remains the signal that transfers across input scales. Zero until
+	// observed.
+	InBytes   int64 `json:"in_bytes,omitempty"`
+	OutBytes  int64 `json:"out_bytes,omitempty"`
+	ProcBytes int64 `json:"proc_bytes,omitempty"`
 }
 
 // History is the workflow-history store (paper §5.2): per-workflow,
@@ -45,11 +57,28 @@ type History struct {
 	// Fig 14 partial-history results. Bound refinement via size ratios is
 	// the mechanism that transfers fairly across candidate mappings.
 	runtimes map[string]float64
+	// cal is the feedback-calibration state that travels with the history:
+	// learned per-engine phase rates and per-operator-class selectivities,
+	// persisted alongside the per-workflow observations. Lazily created so
+	// zero-value and legacy-loaded stores behave identically.
+	calMu sync.Mutex
+	cal   *Calibration
 }
 
 // NewHistory returns an empty store.
 func NewHistory() *History {
 	return &History{m: map[string]map[int]Observation{}, runtimes: map[string]float64{}}
+}
+
+// Calibration returns the store's feedback-calibration state, creating an
+// all-seed state on first use. Never nil on a non-nil history.
+func (h *History) Calibration() *Calibration {
+	h.calMu.Lock()
+	defer h.calMu.Unlock()
+	if h.cal == nil {
+		h.cal = NewCalibration()
+	}
+	return h.cal
 }
 
 // runtimeKey identifies a (workflow, fragment, engine) execution. The
@@ -90,6 +119,73 @@ func (h *History) Observe(dagHash string, opID int, obs Observation) {
 	byOp[opID] = obs
 }
 
+// ObserveDamped folds an execution's observation into the store with the
+// calibration loop's damped update: the stored ratio moves fraction alpha
+// of the way from its current value (or, on first evidence, from the
+// planner's prior) toward the observation. Easing in from the prior is
+// what makes estimator error shrink monotonically across learning rounds
+// instead of jumping to the first measurement — which may itself be noisy
+// (external-input volumes are observed coarsely). Iteration counts are
+// stored exactly; they are discrete and stable. Observe remains the raw
+// exact-write API.
+func (h *History) ObserveDamped(dagHash string, opID int, obs Observation, prior, alpha float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	byOp, ok := h.m[dagHash]
+	if !ok {
+		byOp = map[int]Observation{}
+		h.m[dagHash] = byOp
+	}
+	old, seen := byOp[opID]
+	base := prior
+	if seen {
+		base = old.OutRatio
+	}
+	obs.OutRatio = base + alpha*(obs.OutRatio-base)
+	// Volumes damp the same way; the first-evidence base is the
+	// prior-implied volume (prior selectivity applied to the observed
+	// input), so round-over-round estimates ease geometrically from what
+	// the planner believed toward what the engine measured.
+	inTruth := obs.InBytes
+	dampVol := func(stored, truth, firstBase int64) int64 {
+		if truth <= 0 {
+			return stored
+		}
+		b := firstBase
+		if stored > 0 {
+			b = stored
+		}
+		return b + int64(alpha*float64(truth-b))
+	}
+	priorOut := int64(prior * float64(inTruth))
+	obs.InBytes = dampVol(old.InBytes, inTruth, inTruth)
+	obs.OutBytes = dampVol(old.OutBytes, obs.OutBytes, priorOut)
+	obs.ProcBytes = dampVol(old.ProcBytes, obs.ProcBytes, inTruth+priorOut)
+	if obs.Iterations == 0 {
+		obs.Iterations = old.Iterations
+	}
+	byOp[opID] = obs
+}
+
+// ObserveIterations merges a WHILE operator's measured loop count into its
+// observation without disturbing damped ratio/volume evidence recorded by
+// the same run.
+func (h *History) ObserveIterations(dagHash string, opID int, iters int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	byOp, ok := h.m[dagHash]
+	if !ok {
+		byOp = map[int]Observation{}
+		h.m[dagHash] = byOp
+	}
+	old := byOp[opID]
+	if old.OutRatio == 0 {
+		old.OutRatio = 1
+	}
+	old.Iterations = iters
+	byOp[opID] = old
+}
+
 // Lookup returns the stored observation for an operator.
 func (h *History) Lookup(dagHash string, opID int) (Observation, bool) {
 	h.mu.RLock()
@@ -105,16 +201,26 @@ func (h *History) Coverage(dagHash string) int {
 	return len(h.m[dagHash])
 }
 
-// persistedHistory is the JSON layout of a saved store.
+// persistedHistory is the JSON layout of a saved store. Every field the
+// store holds — observations, runtimes, calibration — round-trips; Save
+// and LoadHistory are symmetric by construction and pinned by test.
 type persistedHistory struct {
 	Ops      map[string]map[int]Observation `json:"ops"`
 	Runtimes map[string]float64             `json:"runtimes,omitempty"`
+	// Calibration carries the learned rates/selectivities alongside the
+	// per-workflow history, so one file restores the whole learned model.
+	Calibration *CalibrationSnapshot `json:"calibration,omitempty"`
 }
 
 // Save writes the store as JSON to path.
 func (h *History) Save(path string) error {
+	p := persistedHistory{}
+	if snap := h.Calibration().Snapshot(); snap.Version > 0 {
+		p.Calibration = &snap
+	}
 	h.mu.RLock()
-	data, err := json.MarshalIndent(persistedHistory{Ops: h.m, Runtimes: h.runtimes}, "", "  ")
+	p.Ops, p.Runtimes = h.m, h.runtimes
+	data, err := json.MarshalIndent(p, "", "  ")
 	h.mu.RUnlock()
 	if err != nil {
 		return fmt.Errorf("history: %w", err)
@@ -142,6 +248,9 @@ func LoadHistory(path string) (*History, error) {
 	}
 	if p.Runtimes != nil {
 		h.runtimes = p.Runtimes
+	}
+	if p.Calibration != nil {
+		h.Calibration().restore(*p.Calibration)
 	}
 	return h, nil
 }

@@ -33,6 +33,28 @@ func MapTo(dag *ir.DAG, est *Estimator, eng *engines.Engine) (*Partitioning, err
 	return Partition(dag, est, []*engines.Engine{eng})
 }
 
+// SeedView returns an estimator over the same DAG, cluster, and input
+// sizes but with no history and no calibration evidence — the estimates a
+// first-run planner would have produced. AutoMap re-scores continuously as
+// evidence accumulates; SeedView is the fixed pre-learning baseline those
+// re-scored choices are compared against (the Explain learning delta).
+// Returns ok=false when the estimator has no input sizes to re-propagate.
+func (e *Estimator) SeedView() (*Estimator, bool) {
+	if len(e.inputs) == 0 {
+		return nil, false
+	}
+	sv, err := NewEstimator(e.dag, nil, e.Cluster, NewHistory())
+	if err != nil {
+		return nil, false
+	}
+	sv.chaos = e.chaos
+	sv.shuffleRatio = e.shuffleRatio
+	if _, err := sv.WithInputSizes(e.inputs); err != nil {
+		return nil, false
+	}
+	return sv, true
+}
+
 // PerOperatorPartitioning builds the merging-disabled partitioning: every
 // operator becomes its own job on the given engine. This is both the
 // Fig 12 ablation baseline and the "operator-by-operator profiling" run

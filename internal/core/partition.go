@@ -342,6 +342,9 @@ func engsKey(engs []*engines.Engine) string {
 // operator group as a single job on any engine of the set. Safe for
 // concurrent use; an infeasible group caches {Infeasible, nil}.
 func (e *Estimator) groupChoice(dag *ir.DAG, group []*ir.Op, engs []*engines.Engine, ekey string) fragChoice {
+	// Memoized scores are only valid for the calibration version they were
+	// computed under; a version bump (new evidence) flushes them first.
+	e.syncCalibration()
 	key := ekey + groupKey(group)
 	e.fragMu.RLock()
 	c, ok := e.fragCache[key]

@@ -48,6 +48,13 @@ type Runner struct {
 	// Accuracy, when non-nil, receives the execution's predicted-vs-actual
 	// makespan record (also returned on WorkflowResult.Accuracy).
 	Accuracy *obs.AccuracyLog
+	// AdaptiveWhile enables mid-loop re-planning for driver-looped WHILEs:
+	// when an iteration's measured makespan diverges more than 2× from the
+	// body partitioning's prediction, the driver re-sizes the body from the
+	// current loop state and re-partitions before the next iteration. Off
+	// by default — adaptive plans depend on measured state, so fixed-plan
+	// reproducibility (golden traces) keeps it opt-in.
+	AdaptiveWhile bool
 }
 
 // defaultSched serves Runners constructed without an explicit scheduler
@@ -202,6 +209,13 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 			if jr.OOM {
 				res.OOM = true
 			}
+			// Close the estimator loop (§5.2 made continuous): fold the
+			// job's observed phase rates into the calibration state. Output
+			// ratios were already folded per job by observe(); the version
+			// bumps invalidate any live estimator's memoized scores.
+			if r.History != nil {
+				r.History.Calibration().ObserveRun(part.Jobs[i].Engine, r.Ctx.Cluster, jr)
+			}
 		}
 	}
 	res.Accuracy = r.accuracy(part, deps, rep)
@@ -345,18 +359,24 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 	if w.Params.CondRel != "" {
 		needed[w.Params.CondRel] = true
 	}
-	for name := range needed {
-		op := body.ByOut(name)
-		if op == nil {
-			return nil, 0, fmt.Errorf("core: WHILE %s: relation %q not in body", w.Out, name)
-		}
-		for _, job := range part.Jobs {
-			if job.Frag.Contains(op) {
-				if err := job.Frag.ForceOutput(op); err != nil {
-					return nil, 0, err
+	forceNeeded := func(p *Partitioning) error {
+		for name := range needed {
+			op := body.ByOut(name)
+			if op == nil {
+				return fmt.Errorf("core: WHILE %s: relation %q not in body", w.Out, name)
+			}
+			for _, job := range p.Jobs {
+				if job.Frag.Contains(op) {
+					if err := job.Frag.ForceOutput(op); err != nil {
+						return err
+					}
 				}
 			}
 		}
+		return nil
+	}
+	if err := forceNeeded(part); err != nil {
+		return nil, 0, err
 	}
 	bodyHash := body.Hash()
 	bodyDeps := jobDeps(part)
@@ -377,6 +397,10 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 	// iterations are strictly sequential, each starting where the previous
 	// one's nested critical path ended.
 	var simClock cluster.Seconds
+	// lastIter is the most recent iteration's measured nested makespan,
+	// compared against the body partitioning's predicted per-iteration cost
+	// by the adaptive re-planner.
+	var lastIter cluster.Seconds
 	iters := 0
 	converged := w.Params.CondRel == "" // bounded loops terminate by cap
 	// One driver round, recorded as its own "iteration" span beneath the
@@ -432,6 +456,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 			total += jr.Makespan
 		}
 		isp.SetSim(float64(simClock), float64(rep.Makespan))
+		lastIter = rep.Makespan
 		simClock += rep.Makespan
 		if rctx.Chaos.Enabled() {
 			// Under a chaos plan, materializing loop-carried state to the
@@ -464,6 +489,48 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 		}
 		return false, nil
 	}
+	// replan re-sizes the body from the loop's current materialized state
+	// and re-partitions it for the next iteration — the adaptive response
+	// to a >2× divergence between predicted and measured iteration time.
+	// Bounded to keep a pathological loop from re-planning every round;
+	// history and calibration updates from the completed iterations feed
+	// the new estimate, so successive plans genuinely know more.
+	const maxWhileReplans = 3
+	replans := 0
+	replan := func(iter int, pred, act float64) error {
+		sizes := map[string]int64{}
+		for name, p := range inPath {
+			st, err := loopFS.Stat(p)
+			if err != nil {
+				return err
+			}
+			sizes[name] = st.EffectiveBytes()
+		}
+		if _, err := est.WithInputSizes(sizes); err != nil {
+			return err
+		}
+		p2, err := PartitionDynamic(body, est, []*engines.Engine{eng})
+		if err != nil || p2.Cost == Infeasible {
+			return err // infeasible: keep the current plan
+		}
+		if err := forceNeeded(p2); err != nil {
+			return err
+		}
+		part, bodyDeps = p2, jobDeps(p2)
+		bodySpanNames = make([]string, len(part.Jobs))
+		for ji := range part.Jobs {
+			bodySpanNames[ji] = "job:" + part.Jobs[ji].Frag.Name()
+		}
+		replans++
+		r.Metrics.Counter("while_replans_total").Add(1)
+		rsp := r.Rec.StartSpan(rctx.Span, "replan", "while")
+		rsp.SetInt("iter", int64(iter))
+		rsp.SetFloat("predicted_s", pred)
+		rsp.SetFloat("actual_s", act)
+		rsp.End()
+		rsp.SetSim(float64(simClock), 0)
+		return nil
+	}
 	for ; iters < maxIter; iters++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, fmt.Errorf("core: WHILE %s iteration %d: %w", w.Out, iters+1, err)
@@ -476,6 +543,14 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 			converged = true
 			iters++
 			break
+		}
+		if r.AdaptiveWhile && replans < maxWhileReplans && iters+1 < maxIter {
+			pred, act := float64(part.Cost), float64(lastIter)
+			if pred > 0 && (act > 2*pred || act < pred/2) {
+				if err := replan(iters, pred, act); err != nil {
+					return nil, 0, fmt.Errorf("core: WHILE %s re-plan after iteration %d: %w", w.Out, iters+1, err)
+				}
+			}
 		}
 	}
 	if !converged {
@@ -507,12 +582,24 @@ func carriedInputFor(w *ir.Op, resRel string) string {
 	return ""
 }
 
-// observe records output ratios for the job's materialized relations.
+// observe records output ratios for the job's materialized relations and
+// feeds per-operator-class selectivities to the calibration state. History
+// writes are damped (ObserveDamped): the stored ratio eases from the
+// planner's current prior toward the measurement, so estimator error
+// shrinks geometrically across learning rounds instead of locking onto one
+// (possibly noisy) observation.
 func (r *Runner) observe(dagHash string, frag *ir.Fragment, jr *engines.RunResult) {
 	if r.History == nil {
 		return
 	}
+	cal := r.History.Calibration()
 	for _, out := range frag.ExtOut {
+		if jr.Trace.InBytes[out.ID] > 0 {
+			// classObs below records this op from the exact per-operator
+			// trace; the coarse pull-share approximation would only fight
+			// it.
+			continue
+		}
 		var in int64
 		for _, p := range out.Inputs {
 			if b, ok := jr.Trace.OutBytes[p.ID]; ok {
@@ -527,13 +614,50 @@ func (r *Runner) observe(dagHash string, frag *ir.Fragment, jr *engines.RunResul
 			continue
 		}
 		outBytes := jr.Trace.OutBytes[out.ID]
-		r.History.Observe(dagHash, out.ID, Observation{OutRatio: float64(outBytes) / float64(in)})
+		r.History.ObserveDamped(dagHash, out.ID,
+			Observation{OutRatio: float64(outBytes) / float64(in), InBytes: in, OutBytes: outBytes},
+			cal.SelectivityPrior(out.Type), SelectivityDamping)
 	}
-	for _, op := range frag.Ops {
-		if op.Type == ir.OpWhile {
-			if iters, ok := jr.Trace.Iterations[op.ID]; ok {
-				r.History.Observe(dagHash, op.ID, Observation{OutRatio: 1, Iterations: iters})
+	// Per-op ratios come from the exact per-operator trace volumes (the
+	// engine measured both sides). Each feeds two stores: the per-op
+	// history under its own (sub-)DAG hash — the hash propagate keys body
+	// ops by — so repeat runs of this DAG estimate from exact evidence,
+	// and the per-class calibration, which transfers the (coarser,
+	// cross-workload) signal to DAGs never seen before. The prior is
+	// captured before the class update so the damping base is what the
+	// planner actually used this run.
+	var classObs func(hash string, ops []*ir.Op, iters int64)
+	classObs = func(hash string, ops []*ir.Op, iters int64) {
+		for _, op := range ops {
+			if op.Type == ir.OpWhile {
+				n := int64(1)
+				if it, ok := jr.Trace.Iterations[op.ID]; ok && it > 0 {
+					r.History.ObserveIterations(hash, op.ID, it)
+					n = int64(it)
+				}
+				if op.Params.Body != nil {
+					classObs(op.Params.Body.Hash(), op.Params.Body.Ops, iters*n)
+				}
+				continue
+			}
+			if op.Type == ir.OpInput {
+				continue
+			}
+			if in := jr.Trace.InBytes[op.ID]; in > 0 {
+				ratio := float64(jr.Trace.OutBytes[op.ID]) / float64(in)
+				prior := cal.SelectivityPrior(op.Type)
+				cal.ObserveSelectivity(op.Type, ratio)
+				// Trace volumes accumulate across WHILE iterations; the
+				// history stores per-iteration averages, the granularity
+				// the estimator charges at.
+				r.History.ObserveDamped(hash, op.ID, Observation{
+					OutRatio:  ratio,
+					InBytes:   in / iters,
+					OutBytes:  jr.Trace.OutBytes[op.ID] / iters,
+					ProcBytes: jr.Trace.ProcBytes[op.ID] / iters,
+				}, prior, SelectivityDamping)
 			}
 		}
 	}
+	classObs(dagHash, frag.Ops, 1)
 }

@@ -81,6 +81,16 @@ type RunResult struct {
 	Makespan   cluster.Seconds
 	Breakdown  CostBreakdown
 	Iterations int
+	// ProcVolume / GenVolume / ShuffleVolume are the surcharge-weighted
+	// PROCESS volume, the generated (operator output) volume, and the
+	// shuffle-operator input volume the cost function charged — the measured
+	// counterparts of Volumes.Proc/Gen/Shuffle, kept so observers can derive
+	// effective per-phase rates from the breakdown. AggVolume is the subset
+	// that flowed through single-machine aggregation (NonAssocGroupBy).
+	ProcVolume, GenVolume, ShuffleVolume, AggVolume int64
+	// Graph marks that the job was costed at the engine's vertex-centric
+	// PROCESS rate (detected graph idiom).
+	Graph bool
 	// OOM reports that the job's working set exceeded the engine's memory
 	// capacity; the makespan includes the thrashing penalty.
 	OOM bool
@@ -159,7 +169,7 @@ func Run(ctx RunContext, p *Plan) (*RunResult, error) {
 	if p.While != nil {
 		res.Iterations = trace.Iterations[p.While.ID]
 	}
-	res.Breakdown, res.OOM = p.Engine.cost(ctx.Cluster, p, pullBytes, pushBytes, trace)
+	res.Breakdown, res.OOM = p.Engine.cost(ctx.Cluster, p, res)
 	res.Makespan = res.Breakdown.Total()
 	if ctx.Chaos != nil {
 		applyChaos(ctx, p, res)
@@ -301,7 +311,8 @@ func runPush(ctx RunContext, p *Plan, env exec.Env) (int64, *obs.Span, error) {
 // edges, LOAD for engines with an ingest transformation, and PROCESS per
 // operator — paid once per operator, while merging lets all operators share
 // a single PULL/LOAD/PUSH.
-func (e *Engine) cost(c *cluster.Cluster, p *Plan, pullBytes, pushBytes int64, trace *exec.Trace) (CostBreakdown, bool) {
+func (e *Engine) cost(c *cluster.Cluster, p *Plan, res *RunResult) (CostBreakdown, bool) {
+	pullBytes, pushBytes, trace := res.PullBytes, res.PushBytes, res.Trace
 	nodes := e.EffectiveNodes(c)
 	fn := e.RateNodes(c)
 	bd := CostBreakdown{
@@ -352,6 +363,11 @@ func (e *Engine) cost(c *cluster.Cluster, p *Plan, pullBytes, pushBytes int64, t
 			addOp(op)
 		}
 	}
+	res.ProcVolume = otherBytes + aggBytes
+	res.GenVolume = genBytes
+	res.ShuffleVolume = shufBytes
+	res.AggVolume = aggBytes
+	res.Graph = graph
 	if e.prof.LoadOutputs {
 		bd.Load += cluster.TransferTime(genBytes, e.prof.LoadMBps*fn)
 	}
@@ -463,30 +479,68 @@ type Volumes struct {
 	ExtraJobs int
 }
 
+// Rates is the tunable-rate slice of an engine's profile: the per-node
+// phase throughputs (and per-job overhead) the planning-time cost function
+// runs on. The structural profile facts — paradigm flags, memory capacity,
+// shuffle surcharges — stay on Profile; Rates is what feedback calibration
+// refines (§5.2's Table 1 constants, made continuous).
+type Rates struct {
+	OverheadS     float64 `json:"overhead_s"`
+	PullMBps      float64 `json:"pull_mbps"`
+	LoadMBps      float64 `json:"load_mbps,omitempty"`
+	ProcMBps      float64 `json:"proc_mbps"`
+	GraphProcMBps float64 `json:"graph_proc_mbps,omitempty"`
+	PushMBps      float64 `json:"push_mbps"`
+	ShuffleMBps   float64 `json:"shuffle_mbps,omitempty"`
+}
+
+// SeedRates returns the engine's Table-1 calibrated rates — the seed a
+// feedback calibration starts from, and what EstimateCost runs on.
+func (e *Engine) SeedRates() Rates {
+	return Rates{
+		OverheadS:     e.prof.PerJobOverheadS,
+		PullMBps:      e.prof.PullMBps,
+		LoadMBps:      e.prof.LoadMBps,
+		ProcMBps:      e.prof.ProcMBps,
+		GraphProcMBps: e.prof.GraphProcMBps,
+		PushMBps:      e.prof.PushMBps,
+		ShuffleMBps:   e.prof.ShuffleMBps,
+	}
+}
+
 // EstimateCost predicts a job's makespan from estimated volumes without
 // executing it — the planning-time side of the cost function used by the
-// DAG partitioner and the automatic mapper (§5.2).
+// DAG partitioner and the automatic mapper (§5.2) — at the engine's seed
+// (Table 1) rates.
 func (e *Engine) EstimateCost(c *cluster.Cluster, v Volumes) cluster.Seconds {
+	return e.EstimateCostRates(c, v, e.SeedRates())
+}
+
+// EstimateCostRates is EstimateCost evaluated at explicit rates, so a
+// calibration layer can re-score candidate mappings on learned throughputs
+// without touching the engine's structural profile. With r == SeedRates()
+// the result is bit-identical to EstimateCost.
+func (e *Engine) EstimateCostRates(c *cluster.Cluster, v Volumes, r Rates) cluster.Seconds {
 	nodes := e.EffectiveNodes(c)
 	fn := e.RateNodes(c)
-	rate := e.prof.ProcMBps
-	if v.Graph && e.prof.GraphProcMBps > 0 {
-		rate = e.prof.GraphProcMBps
+	rate := r.ProcMBps
+	if v.Graph && r.GraphProcMBps > 0 {
+		rate = r.GraphProcMBps
 	}
-	t := cluster.Seconds(e.prof.PerJobOverheadS*float64(1+v.ExtraJobs)) +
-		cluster.TransferTime(v.Pull, e.prof.PullMBps*fn) +
-		cluster.TransferTime(v.Pull, e.prof.LoadMBps*fn) +
-		cluster.TransferTime(v.Push, e.prof.PushMBps*fn)
+	t := cluster.Seconds(r.OverheadS*float64(1+v.ExtraJobs)) +
+		cluster.TransferTime(v.Pull, r.PullMBps*fn) +
+		cluster.TransferTime(v.Pull, r.LoadMBps*fn) +
+		cluster.TransferTime(v.Push, r.PushMBps*fn)
 	if e.prof.LoadOutputs {
-		t += cluster.TransferTime(v.Gen, e.prof.LoadMBps*fn)
+		t += cluster.TransferTime(v.Gen, r.LoadMBps*fn)
 	}
 	if !v.Graph {
-		t += cluster.TransferTime(v.Shuffle, e.prof.ShuffleMBps*fn)
+		t += cluster.TransferTime(v.Shuffle, r.ShuffleMBps*fn)
 	}
 	proc := cluster.TransferTime(v.Proc-v.AggProc, rate*fn)
 	if e.prof.NonAssocGroupBy {
 		proc += cluster.TransferTime(v.AggProc, rate) // one machine
-		t += cluster.TransferTime(v.AggProc, e.prof.ShuffleMBps)
+		t += cluster.TransferTime(v.AggProc, r.ShuffleMBps)
 	} else {
 		proc += cluster.TransferTime(v.AggProc, rate*fn)
 	}
@@ -505,6 +559,50 @@ func (e *Engine) EstimateCost(c *cluster.Cluster, v Volumes) cluster.Seconds {
 		}
 	}
 	return t + proc
+}
+
+// ObservedRates derives the effective per-node phase rates one executed
+// job actually achieved, by inverting the cost function over the measured
+// breakdown and the volumes it charged. Fields the job gives no clean
+// signal for are zero (no data moved, thrashing run, single-machine
+// aggregation mixing rates). This is the measurement half of feedback
+// calibration: under fault-free runs the observed rates converge on the
+// profile seeds, while systematic effects the planner does not price —
+// codegen tax, chaos-degraded throughput — show up as persistent residuals
+// the calibration layer can learn.
+func (e *Engine) ObservedRates(c *cluster.Cluster, res *RunResult) Rates {
+	fn := e.RateNodes(c)
+	r := Rates{OverheadS: float64(res.Breakdown.Overhead)}
+	mbps := func(bytes int64, secs cluster.Seconds) float64 {
+		if bytes <= 0 || secs <= 0 {
+			return 0
+		}
+		return float64(bytes) / 1e6 / float64(secs) / fn
+	}
+	r.PullMBps = mbps(res.PullBytes, res.Breakdown.Pull)
+	r.PushMBps = mbps(res.PushBytes, res.Breakdown.Push)
+	loadVol := res.PullBytes
+	if e.prof.LoadOutputs {
+		loadVol += res.GenVolume
+	}
+	r.LoadMBps = mbps(loadVol, res.Breakdown.Load)
+	if !e.prof.NonAssocGroupBy {
+		// NonAssoc engines fold a single-link aggregation collect into the
+		// shuffle phase; the blended rate is not a network throughput.
+		r.ShuffleMBps = mbps(res.ShuffleVolume, res.Breakdown.Shuffle)
+	}
+	if !res.OOM && res.AggVolume == 0 {
+		// A thrashing run measures the penalty, not the rate; an aggregation
+		// split across single-machine and distributed rates is not separable
+		// from the breakdown alone.
+		proc := mbps(res.ProcVolume, res.Breakdown.Proc)
+		if res.Graph {
+			r.GraphProcMBps = proc
+		} else {
+			r.ProcMBps = proc
+		}
+	}
+	return r
 }
 
 // ShuffleSurcharge returns the engine's PROCESS multiplier for shuffle

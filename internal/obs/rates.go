@@ -1,0 +1,95 @@
+package obs
+
+import "sort"
+
+// The flight recorder's engine phase spans ("pull"/"process"/"push",
+// category "phase") carry simulated durations and — for the DFS edges —
+// byte counts. PhaseRates is the read path over that data: it aggregates
+// the spans per (engine, phase) into observed throughputs, the span-side
+// evidence the feedback calibration loop and the stats CLI consume. Pure
+// data walk: durations were recorded when the spans were, no clock is
+// read here.
+
+// PhaseRate aggregates every recorded span of one engine phase.
+type PhaseRate struct {
+	Engine string `json:"engine"`
+	Phase  string `json:"phase"`
+	// Bytes is the summed "bytes" attribute (zero for phases that do not
+	// record volumes); SimSeconds / WallSeconds are summed simulated and
+	// wall durations.
+	Bytes       int64   `json:"bytes"`
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	Samples     int     `json:"samples"`
+	// MBps is the derived effective throughput on the simulated clock
+	// (zero when the phase carries no byte counts).
+	MBps float64 `json:"mbps,omitempty"`
+}
+
+// PhaseRates aggregates the recorder's engine phase spans per (engine,
+// phase), attributing each phase to the engine named on its enclosing job
+// span. Results are sorted by engine then phase. Nil-safe.
+func PhaseRates(r *Recorder) []PhaseRate {
+	spans := r.Spans()
+	if len(spans) == 0 {
+		return nil
+	}
+	byID := make(map[int64]*Span, len(spans))
+	for _, s := range spans {
+		byID[s.ID] = s
+	}
+	engineOf := func(s *Span) string {
+		for p := byID[s.Parent]; p != nil; p = byID[p.Parent] {
+			if p.Cat != "job" {
+				continue
+			}
+			for _, a := range p.Attrs() {
+				if a.Key == "engine" && a.Kind == AttrStr {
+					return a.Str
+				}
+			}
+			return ""
+		}
+		return ""
+	}
+	acc := map[string]*PhaseRate{}
+	for _, s := range spans {
+		if s.Cat != "phase" {
+			continue
+		}
+		eng := engineOf(s)
+		if eng == "" {
+			continue
+		}
+		key := eng + "|" + s.Name
+		pr, ok := acc[key]
+		if !ok {
+			pr = &PhaseRate{Engine: eng, Phase: s.Name}
+			acc[key] = pr
+		}
+		for _, a := range s.Attrs() {
+			if a.Key == "bytes" && a.Kind == AttrInt {
+				pr.Bytes += a.Int
+			}
+		}
+		if s.SimDur > 0 {
+			pr.SimSeconds += s.SimDur
+		}
+		pr.WallSeconds += s.Dur.Seconds()
+		pr.Samples++
+	}
+	out := make([]PhaseRate, 0, len(acc))
+	for _, pr := range acc {
+		if pr.Bytes > 0 && pr.SimSeconds > 0 {
+			pr.MBps = float64(pr.Bytes) / 1e6 / pr.SimSeconds
+		}
+		out = append(out, *pr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Engine != out[j].Engine {
+			return out[i].Engine < out[j].Engine
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	return out
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPhaseRatesAggregatesPerEnginePhase(t *testing.T) {
+	r := NewRecorder()
+	wf := r.StartSpan(nil, "workflow", "workflow")
+
+	job := r.StartSpan(wf, "job-0", "job")
+	job.SetStr("engine", "spark")
+	pull := r.StartSpan(job, "pull", "phase")
+	pull.SetInt("bytes", 700_000_000)
+	pull.SetSim(0, 10)
+	pull.End()
+	pull2 := r.StartSpan(job, "pull", "phase")
+	pull2.SetInt("bytes", 300_000_000)
+	pull2.SetSim(10, 10)
+	pull2.End()
+	proc := r.StartSpan(job, "process", "phase")
+	proc.SetSim(20, 4) // no byte attribute: rate must stay zero
+	proc.End()
+	job.End()
+
+	job2 := r.StartSpan(wf, "job-1", "job")
+	job2.SetStr("engine", "naiad")
+	push := r.StartSpan(job2, "push", "phase")
+	push.SetInt("bytes", 50_000_000)
+	push.SetSim(0, 2)
+	push.End()
+	// A phase without an enclosing engine-stamped job is unattributable
+	// and must be dropped.
+	stray := r.StartSpan(wf, "pull", "phase")
+	stray.SetInt("bytes", 1)
+	stray.SetSim(0, 1)
+	stray.End()
+	job2.End()
+	wf.End()
+
+	rates := PhaseRates(r)
+	byKey := map[string]PhaseRate{}
+	for _, pr := range rates {
+		byKey[pr.Engine+"|"+pr.Phase] = pr
+	}
+	if len(byKey) != 3 {
+		t.Fatalf("got %d aggregates (%v), want 3", len(byKey), rates)
+	}
+	p := byKey["spark|pull"]
+	if p.Samples != 2 || p.Bytes != 1_000_000_000 || p.SimSeconds != 20 {
+		t.Errorf("spark pull aggregate = %+v", p)
+	}
+	if math.Abs(p.MBps-50) > 1e-9 {
+		t.Errorf("spark pull rate = %v MB/s, want 50", p.MBps)
+	}
+	if pr := byKey["spark|process"]; pr.MBps != 0 || pr.SimSeconds != 4 {
+		t.Errorf("byte-less phase aggregate = %+v", pr)
+	}
+	if pr := byKey["naiad|push"]; math.Abs(pr.MBps-25) > 1e-9 {
+		t.Errorf("naiad push rate = %v MB/s, want 25", pr.MBps)
+	}
+	// Sorted by engine then phase.
+	for i := 1; i < len(rates); i++ {
+		a, b := rates[i-1], rates[i]
+		if a.Engine > b.Engine || (a.Engine == b.Engine && a.Phase > b.Phase) {
+			t.Errorf("unsorted: %v before %v", a, b)
+		}
+	}
+	if got := PhaseRates(NewRecorder()); got != nil {
+		t.Errorf("empty recorder yields %v", got)
+	}
+}

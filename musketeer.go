@@ -70,6 +70,13 @@ type (
 	Seconds = cluster.Seconds
 	// History is the workflow-history store.
 	History = core.History
+	// Calibration is the feedback-calibrated rate & selectivity store
+	// carried by a History (seeded from Table 1, updated after every run).
+	Calibration = core.Calibration
+	// CalibrationSnapshot is a versioned point-in-time copy of a
+	// Calibration: per-engine seed vs learned rates and per-operator-class
+	// selectivities.
+	CalibrationSnapshot = core.CalibrationSnapshot
 	// Partitioning is a workflow decomposed into engine-assigned jobs.
 	Partitioning = core.Partitioning
 	// PlanMode selects generated-code quality.
@@ -141,6 +148,10 @@ type Musketeer struct {
 	// track record are cheap and shared by every execution.
 	metrics  *obs.Registry
 	accuracy *obs.AccuracyLog
+	// adaptiveWhile lets long WHILE loops re-plan mid-flight when observed
+	// per-iteration spans diverge >2x from the prediction; off by default
+	// so golden traces stay reproducible.
+	adaptiveWhile bool
 }
 
 // Option configures New.
@@ -230,6 +241,16 @@ func WithColumnarShuffles() Option {
 	return func(m *Musketeer) { m.columnar = true }
 }
 
+// WithAdaptiveWhile lets WHILE drivers re-plan their loop body mid-run:
+// when an iteration's measured makespan diverges more than 2x from the
+// estimate (in either direction), the driver re-stats the loop inputs,
+// re-runs the partition search under the current calibration state, and
+// switches plans for the remaining iterations (at most three re-plans per
+// loop). Off by default so iteration traces stay identical run to run.
+func WithAdaptiveWhile() Option {
+	return func(m *Musketeer) { m.adaptiveWhile = true }
+}
+
 // WithTransientFailures kills individual job attempts outright with the
 // given probability (deterministic per seed, job, and attempt). Combine
 // with WithRetries to exercise the scheduler's re-submission path; without
@@ -298,6 +319,12 @@ func (m *Musketeer) ReadOutput(name string) (*Relation, error) {
 
 // History returns the deployment's workflow-history store.
 func (m *Musketeer) History() *core.History { return m.history }
+
+// Calibration returns the deployment's feedback calibration state: the
+// per-engine rates and per-operator-class selectivities learned from
+// executed workflows, consulted by the cost model on every estimate. It
+// lives on (and persists with) the history store.
+func (m *Musketeer) Calibration() *Calibration { return m.history.Calibration() }
 
 // EngineNames lists the registered back-ends.
 func (m *Musketeer) EngineNames() []string {
@@ -592,14 +619,15 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		shuffleCodec = relation.CodecColumnar
 	}
 	r := &core.Runner{
-		Ctx:      engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Chaos: w.m.chaos, ShuffleCodec: shuffleCodec},
-		History:  w.m.history,
-		Mode:     w.Mode,
-		Sched:    w.m.sched,
-		Rec:      rec,
-		Span:     root,
-		Metrics:  w.m.metrics,
-		Accuracy: w.m.accuracy,
+		Ctx:           engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Chaos: w.m.chaos, ShuffleCodec: shuffleCodec},
+		History:       w.m.history,
+		Mode:          w.Mode,
+		Sched:         w.m.sched,
+		Rec:           rec,
+		Span:          root,
+		Metrics:       w.m.metrics,
+		Accuracy:      w.m.accuracy,
+		AdaptiveWhile: w.m.adaptiveWhile,
 	}
 	res, err := r.ExecuteCtx(ctx, w.dag, part)
 	if err != nil {

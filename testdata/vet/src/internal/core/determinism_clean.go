@@ -1,0 +1,25 @@
+package core
+
+import "time"
+
+// Mirror of the real calibration store's provenance stamp: touch is in the
+// determinism rule's exempt-clock-owner set ((*core.Calibration).touch),
+// so the time.Now below — and kernel functions reaching touch — must stay
+// clean. A finding here means the rule-level exemption regressed.
+
+// Calibration is the corpus stand-in for the feedback calibration store.
+type Calibration struct {
+	version   uint64
+	updatedAt time.Time
+}
+
+func (c *Calibration) touch() {
+	c.version++
+	c.updatedAt = time.Now()
+}
+
+// ObserveCorpus is a kernel-package caller of the exempt clock owner; the
+// path ObserveCorpus -> touch -> time.Now must not be reported.
+func (c *Calibration) ObserveCorpus() {
+	c.touch()
+}
