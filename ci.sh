@@ -20,7 +20,13 @@
 #   golden trace      — the two-engine workflow's span tree is byte-stable
 #   chaos golden      — a seeded fault plan yields a byte-stable trace of
 #                       retries, checkpoints, recoveries and speculation
-#   alloc guard       — tracing off adds zero allocations to hot paths
+#   alloc guard       — tracing off adds zero allocations to hot paths,
+#                       and a disabled/level-gated run logger adds zero
+#                       allocations to the event-emission sites
+#   telemetry scrape  — the debug server (httptest over DebugHandler)
+#                       serves /metrics and /debug/runs during chaotic
+#                       concurrent executions; any malformed exposition
+#                       line or lost run digest fails the stage
 #   flaky gate        — the concurrency/scheduler/chaos suites 3x back to
 #                       back with -shuffle=on: a test that only fails
 #                       sometimes, or only in one order, fails here
@@ -91,6 +97,8 @@ stage "go test"                    go test ./...
 stage "golden trace"               go test -count=1 -run 'TestTraceGolden' .
 stage "chaos golden"               go test -count=1 -run 'TestChaosGolden' .
 stage "obs disabled-path alloc guard" go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
+stage "telemetry scrape gate" \
+    go test -count=1 -run 'TestDebugServerScrape|TestConcurrentScrapeDuringChaoticExecutes|TestPrometheusLinesValid|TestPrometheusByteStableAcrossScrapes' . ./internal/obs
 stage "flaky gate (3x shuffled concurrency/sched/chaos)" \
     go test -short -count=3 -shuffle=on -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
 calibration_gate() {

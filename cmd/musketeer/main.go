@@ -24,14 +24,27 @@
 //
 // The stats subcommand accepts the same flags as an execution, runs the
 // workflow, and reports observability output instead of result rows: the
-// deployment metrics registry (counters, gauges, histograms; -json for the
-// flat JSON dump) and the estimator's predicted-vs-measured accuracy.
+// deployment metrics registry (counters, gauges, histograms with
+// bucket-derived p50/p90/p99; -json for the flat JSON dump) and the
+// estimator's predicted-vs-measured accuracy.
+//
+// -debug-addr serves the live telemetry plane over HTTP for the life of
+// the process: /metrics (Prometheus text exposition), /debug/runs (recent
+// execution digests), /debug/runs/<id>/trace (Chrome trace JSON), /healthz,
+// and /debug/pprof. Combine with -debug-hold to keep serving after the run
+// finishes, and point `musketeer top -addr <addr>` at it for a one-shot
+// view. -run-log <level> emits the structured run log (one JSON event per
+// admission, dispatch, retry, fault recovery, speculation, and calibration
+// update) to stderr.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -61,6 +74,8 @@ func main() {
 			os.Exit(runCheck(os.Args[2:]))
 		case "stats":
 			os.Exit(run("stats", os.Args[2:], true))
+		case "top":
+			os.Exit(runTop(os.Args[2:]))
 		}
 	}
 	os.Exit(run("musketeer", os.Args[1:], false))
@@ -94,6 +109,9 @@ func run(name string, args []string, statsMode bool) int {
 	tracePath := fs.String("trace", "", "write the execution's spans as Chrome trace_event JSON to this file")
 	columnar := fs.Bool("columnar-shuffles", false, "write intra-run shuffle files in the binary columnar wire format (sources and sinks stay TSV)")
 	statsJSON := fs.Bool("json", false, "stats: dump the metrics registry as JSON instead of text")
+	debugAddr := fs.String("debug-addr", "", "serve the debug plane (/metrics, /debug/runs, /healthz, /debug/pprof) on this address, e.g. :6060")
+	debugHold := fs.Bool("debug-hold", false, "keep the -debug-addr server running after the run completes (Ctrl-C to exit)")
+	runLogLevel := fs.String("run-log", "", "emit the structured run log to stderr as JSON events at this level: debug, info, warn or error")
 	tables := tableFlags{}
 	fs.Var(tables, "table", "stage a relation: name=file (repeatable)")
 	fs.Parse(args)
@@ -134,7 +152,24 @@ func run(name string, args []string, statsMode bool) int {
 	if *adaptiveWhile {
 		opts = append(opts, musketeer.WithAdaptiveWhile())
 	}
+	if *runLogLevel != "" {
+		level, err := parseLogLevel(*runLogLevel)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts = append(opts, musketeer.WithRunLog(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level})))
+	}
 	m := musketeer.New(opts...)
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fail("debug-addr: %v", err)
+		}
+		srv := &http.Server{Handler: m.DebugHandler()}
+		//mkvet:ignore scheduler-only-concurrency debug HTTP listener lives for the process lifetime; serving scrapes is stdlib-managed I/O, not execution-stack work
+		go srv.Serve(ln)
+		fmt.Fprintf(os.Stderr, "debug server on http://%s (/metrics /debug/runs /healthz /debug/pprof)\n", ln.Addr())
+	}
 	if *calibratePath != "" {
 		if err := m.Calibration().LoadFile(*calibratePath); err != nil {
 			fail("calibrate: %v", err)
@@ -261,6 +296,13 @@ func run(name string, args []string, statsMode bool) int {
 		fmt.Printf("trace: %d span(s) written to %s\n", res.Flight.Len(), *tracePath)
 	}
 
+	defer func() {
+		if *debugAddr != "" && *debugHold {
+			fmt.Fprintf(os.Stderr, "holding debug server on %s; Ctrl-C to exit\n", *debugAddr)
+			select {}
+		}
+	}()
+
 	if statsMode {
 		fmt.Println("metrics:")
 		if *statsJSON {
@@ -356,6 +398,21 @@ func printCalibration(snap musketeer.CalibrationSnapshot) {
 		}
 		fmt.Printf("  selectivity %-10s %d obs: %.3f->%.3f\n", sc.Class, sc.Samples, sc.Seed, sc.Learned)
 	}
+}
+
+// parseLogLevel maps a -run-log flag value onto a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("unknown -run-log level %q (want debug, info, warn or error)", s)
 }
 
 func clusterOption(spec string) musketeer.Option {

@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"musketeer"
+)
+
+// runTop is the `musketeer top` subcommand: a one-shot view of a running
+// deployment's debug server — the retained execution digests from
+// /debug/runs and the headline counters from /metrics — for the operator
+// who wants "what has this process been doing" without wiring up a
+// Prometheus stack.
+func runTop(args []string) int {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	addr := fs.String("addr", "localhost:6060", "debug server address (host:port, as passed to -debug-addr)")
+	jsonOut := fs.Bool("json", false, "dump the raw /debug/runs JSON instead of the table")
+	fs.Parse(args)
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	base := "http://" + *addr
+
+	resp, err := client.Get(base + "/debug/runs")
+	if err != nil {
+		fail("top: %v (is the deployment running with -debug-addr %s?)", err, *addr)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fail("top: %s/debug/runs: %s", base, resp.Status)
+	}
+	var list struct {
+		Runs []musketeer.RunDigest `json:"runs"`
+	}
+	dec := json.NewDecoder(resp.Body)
+	if *jsonOut {
+		var raw json.RawMessage
+		if err := dec.Decode(&raw); err != nil {
+			fail("top: %v", err)
+		}
+		fmt.Println(string(raw))
+		return 0
+	}
+	if err := dec.Decode(&list); err != nil {
+		fail("top: %v", err)
+	}
+
+	if len(list.Runs) == 0 {
+		fmt.Println("no retained runs")
+	} else {
+		fmt.Printf("%-6s %-24s %-7s %9s %10s %10s %7s %7s %s\n",
+			"RUN", "WORKFLOW", "STATUS", "WALL", "MAKESPAN", "PREDICTED", "ERR%", "FAULTS", "TRACE")
+		for _, r := range list.Runs {
+			name := r.Workflow
+			if len(name) > 24 {
+				name = name[:21] + "..."
+			}
+			trace := "-"
+			if r.Traced {
+				trace = fmt.Sprintf("%d spans", r.Spans)
+			}
+			fmt.Printf("%-6s %-24s %-7s %8.0fms %9.1fs %9.1fs %+6.0f%% %7d %s\n",
+				r.ID, name, r.Status, r.WallMS, r.MakespanS, r.PredictedS,
+				100*r.MakespanError, r.Faults, trace)
+		}
+	}
+
+	counters, err := scrapeCounters(client, base+"/metrics")
+	if err != nil {
+		fail("top: %v", err)
+	}
+	if len(counters) > 0 {
+		fmt.Println("counters:")
+		names := make([]string, 0, len(counters))
+		for n := range counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("  %-44s %s\n", n, counters[n])
+		}
+	}
+	return 0
+}
+
+// scrapeCounters pulls the plain (unlabelled, non-histogram) samples out of
+// one /metrics exposition.
+func scrapeCounters(client *http.Client, url string) (map[string]string, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	out := map[string]string{}
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") || strings.Contains(line, "{") {
+			continue
+		}
+		name, val, ok := strings.Cut(line, " ")
+		if !ok || strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum") {
+			continue
+		}
+		out[name] = val
+	}
+	return out, sc.Err()
+}

@@ -123,8 +123,8 @@ func (c *Calibration) Rates(eng *engines.Engine) engines.Rates {
 		return eng.SeedRates()
 	}
 	c.mu.RLock()
+	defer c.mu.RUnlock()
 	ec, ok := c.engs[eng.Name()]
-	c.mu.RUnlock()
 	if !ok || ec.Samples == 0 {
 		return eng.SeedRates()
 	}

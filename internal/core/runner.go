@@ -48,6 +48,12 @@ type Runner struct {
 	// Accuracy, when non-nil, receives the execution's predicted-vs-actual
 	// makespan record (also returned on WorkflowResult.Accuracy).
 	Accuracy *obs.AccuracyLog
+	// Log, when non-nil, receives the execution's structured lifecycle
+	// events: it is handed to the scheduler per job (dispatch, completion,
+	// retry, speculation), to the engines per attempt (injected faults,
+	// recovery), and emits the WHILE driver's iteration/re-plan and the
+	// calibration updates directly. Nil disables logging at zero cost.
+	Log *obs.Logger
 	// AdaptiveWhile enables mid-loop re-planning for driver-looped WHILEs:
 	// when an iteration's measured makespan diverges more than 2× from the
 	// body partitioning's prediction, the driver re-sizes the body from the
@@ -153,6 +159,7 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 			Name:      job.Frag.Name(),
 			Deps:      deps[i],
 			Predicted: job.Cost,
+			Log:       r.Log,
 			Run: func(jctx context.Context, attempt int) (sched.Result, error) {
 				jsp := r.Rec.StartSpan(ssp, spanName, "job")
 				defer jsp.End()
@@ -166,7 +173,7 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 				rctx := r.Ctx
 				rctx.Ctx = jctx
 				rctx.Attempt = attempt
-				rctx.Rec, rctx.Span, rctx.Metrics = r.Rec, jsp, r.Metrics
+				rctx.Rec, rctx.Span, rctx.Metrics, rctx.Log = r.Rec, jsp, r.Metrics, r.Log
 				var (
 					runs []*engines.RunResult
 					dur  cluster.Seconds
@@ -215,6 +222,11 @@ func (r *Runner) ExecuteCtx(ctx context.Context, dag *ir.DAG, part *Partitioning
 			// bumps invalidate any live estimator's memoized scores.
 			if r.History != nil {
 				r.History.Calibration().ObserveRun(part.Jobs[i].Engine, r.Ctx.Cluster, jr)
+				r.Log.WithJob(jr.Job).Debug("calibration_update").
+					Str("engine", jr.Engine).
+					Float("makespan_s", float64(jr.Makespan)).
+					Int("proc_bytes", jr.ProcVolume).
+					Emit()
 			}
 		}
 	}
@@ -421,6 +433,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 				Name:      job.Frag.Name(),
 				Deps:      bodyDeps[ji],
 				Predicted: job.Cost,
+				Log:       r.Log,
 				Run: func(jctx context.Context, attempt int) (sched.Result, error) {
 					bsp := r.Rec.StartSpan(isp, bodySpanNames[ji], "job")
 					defer bsp.End()
@@ -436,7 +449,7 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 					jctx2 := lctx
 					jctx2.Ctx = jctx
 					jctx2.Attempt = attempt
-					jctx2.Rec, jctx2.Span, jctx2.Metrics = r.Rec, bsp, r.Metrics
+					jctx2.Rec, jctx2.Span, jctx2.Metrics, jctx2.Log = r.Rec, bsp, r.Metrics, r.Log
 					jr, err := engines.Run(jctx2, plan)
 					if err != nil {
 						return sched.Result{}, err
@@ -456,6 +469,10 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 			total += jr.Makespan
 		}
 		isp.SetSim(float64(simClock), float64(rep.Makespan))
+		r.Log.WithJob(w.Out).Debug("while_iteration").
+			Int("iter", int64(iter)).
+			Float("makespan_s", float64(rep.Makespan)).
+			Emit()
 		lastIter = rep.Makespan
 		simClock += rep.Makespan
 		if rctx.Chaos.Enabled() {
@@ -523,6 +540,12 @@ func (r *Runner) runWhileDriver(ctx context.Context, rctx engines.RunContext, da
 		}
 		replans++
 		r.Metrics.Counter("while_replans_total").Add(1)
+		r.Log.WithJob(w.Out).Info("while_replan").
+			Int("iter", int64(iter)).
+			Float("predicted_s", pred).
+			Float("actual_s", act).
+			Int("jobs", int64(len(part.Jobs))).
+			Emit()
 		rsp := r.Rec.StartSpan(rctx.Span, "replan", "while")
 		rsp.SetInt("iter", int64(iter))
 		rsp.SetFloat("predicted_s", pred)

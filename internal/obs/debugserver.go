@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+)
+
+// The debug server is the telemetry plane's HTTP surface — what a
+// long-lived Musketeer process (and, later, the `musketeer serve` daemon)
+// exposes for scraping, tailing, and poking:
+//
+//	/metrics                  Prometheus text exposition of the registry
+//	/debug/runs               JSON digests of the last N executions
+//	/debug/runs/<id>          one execution's digest
+//	/debug/runs/<id>/trace    the execution's Chrome trace JSON (Perfetto)
+//	/healthz                  liveness probe
+//	/debug/pprof/*            the stock Go profiler endpoints
+//
+// DebugMux is a plain http.Handler so callers own the listener lifecycle
+// (cmd/musketeer serves it on -debug-addr; tests mount it on httptest).
+
+// DebugMux builds the debug plane's handler over a metrics registry and a
+// run registry. Either may be nil: a nil metrics registry scrapes empty, a
+// nil run registry serves an empty run list.
+func DebugMux(metrics *Registry, runs *RunRegistry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		if err := metrics.WritePrometheus(w); err != nil {
+			// Headers are gone; nothing to do but stop writing.
+			return
+		}
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /debug/runs", func(w http.ResponseWriter, req *http.Request) {
+		list := runs.Runs()
+		if list == nil {
+			list = []RunDigest{}
+		}
+		writeJSON(w, struct {
+			Runs []RunDigest `json:"runs"`
+		}{list})
+	})
+	mux.HandleFunc("GET /debug/runs/{id}", func(w http.ResponseWriter, req *http.Request) {
+		d, _, ok := runs.Get(req.PathValue("id"))
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		writeJSON(w, d)
+	})
+	mux.HandleFunc("GET /debug/runs/{id}/trace", func(w http.ResponseWriter, req *http.Request) {
+		_, rec, ok := runs.Get(req.PathValue("id"))
+		if !ok {
+			http.NotFound(w, req)
+			return
+		}
+		if rec == nil {
+			http.Error(w, "run was not traced (deployment built without WithTracing)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		rec.WriteChromeTrace(w, TraceOptions{})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func debugFixture() (*Registry, *RunRegistry, string) {
+	metrics := promRegistry()
+	runs := NewRunRegistry(4)
+	rec := NewRecorder()
+	root := rec.StartSpan(nil, "workflow", "pipeline")
+	rec.StartSpan(root, "job:x", "job").End()
+	root.End()
+	traced := runs.Record(RunDigest{Workflow: "q1", Status: "ok", MakespanS: 12}, rec)
+	runs.Record(RunDigest{Workflow: "q2", Status: "failed", Err: "boom"}, nil)
+	return metrics, runs, traced
+}
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	metrics, runs, traced := debugFixture()
+	srv := httptest.NewServer(DebugMux(metrics, runs))
+	defer srv.Close()
+
+	code, body, hdr := get(t, srv, "/metrics")
+	if code != http.StatusOK || hdr.Get("Content-Type") != PromContentType {
+		t.Fatalf("/metrics: code=%d type=%q", code, hdr.Get("Content-Type"))
+	}
+	if err := ValidatePromText(body); err != nil {
+		t.Fatalf("/metrics exposition invalid: %v", err)
+	}
+
+	if code, body, _ := get(t, srv, "/healthz"); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("/healthz: code=%d body=%q", code, body)
+	}
+
+	code, body, hdr = get(t, srv, "/debug/runs")
+	if code != http.StatusOK || !strings.HasPrefix(hdr.Get("Content-Type"), "application/json") {
+		t.Fatalf("/debug/runs: code=%d type=%q", code, hdr.Get("Content-Type"))
+	}
+	var list struct {
+		Runs []RunDigest `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatalf("/debug/runs not JSON: %v\n%s", err, body)
+	}
+	if len(list.Runs) != 2 || list.Runs[0].Workflow != "q2" || list.Runs[1].ID != traced {
+		t.Fatalf("/debug/runs = %+v", list.Runs)
+	}
+
+	code, body, _ = get(t, srv, "/debug/runs/"+traced)
+	var d RunDigest
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &d) != nil || d.Workflow != "q1" {
+		t.Fatalf("/debug/runs/%s: code=%d body=%s", traced, code, body)
+	}
+
+	code, body, _ = get(t, srv, "/debug/runs/"+traced+"/trace")
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if code != http.StatusOK || json.Unmarshal([]byte(body), &doc) != nil || len(doc.TraceEvents) != 2 {
+		t.Fatalf("trace: code=%d events=%d body=%s", code, len(doc.TraceEvents), body)
+	}
+
+	// Untraced run: digest serves, trace 404s with an explanation.
+	code, body, _ = get(t, srv, "/debug/runs/r2/trace")
+	if code != http.StatusNotFound || !strings.Contains(body, "not traced") {
+		t.Fatalf("untraced trace: code=%d body=%q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/debug/runs/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown run served: code=%d", code)
+	}
+	if code, _, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("pprof: code=%d", code)
+	}
+}
+
+func TestDebugMuxNilBackends(t *testing.T) {
+	srv := httptest.NewServer(DebugMux(nil, nil))
+	defer srv.Close()
+	if code, body, _ := get(t, srv, "/metrics"); code != http.StatusOK || body != "" {
+		t.Fatalf("nil-registry /metrics: code=%d body=%q", code, body)
+	}
+	code, body, _ := get(t, srv, "/debug/runs")
+	if code != http.StatusOK || !strings.Contains(body, `"runs": []`) {
+		t.Fatalf("nil-runreg /debug/runs: code=%d body=%q", code, body)
+	}
+	if code, _, _ := get(t, srv, "/debug/runs/r1"); code != http.StatusNotFound {
+		t.Fatalf("nil-runreg run lookup: code=%d", code)
+	}
+}

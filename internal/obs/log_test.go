@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestLoggerEmitsStructuredEvents(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLogger(&buf, slog.LevelDebug)
+	l.WithRun("r7").WithJob("join:lineitem").WithAttempt(2).
+		Warn("job_retry").
+		Str("engine", "spark").
+		Int("backoff_ms", 250).
+		Float("predicted_s", 12.5).
+		Bool("speculative", true).
+		Err(errors.New("worker lost")).
+		Emit()
+
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("event is not one JSON object: %v\n%s", err, buf.String())
+	}
+	want := map[string]any{
+		"msg":         "job_retry",
+		"level":       "WARN",
+		"run":         "r7",
+		"job":         "join:lineitem",
+		"attempt":     float64(2),
+		"engine":      "spark",
+		"backoff_ms":  float64(250),
+		"predicted_s": 12.5,
+		"speculative": true,
+		"err":         "worker lost",
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Errorf("event[%q] = %v, want %v", k, rec[k], v)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	// Every method on the disabled logger chain must be a safe no-op.
+	l.WithRun("r").WithJob("j").WithAttempt(1).
+		Info("job_complete").Str("k", "v").Int("n", 1).Float("f", 1).Bool("b", true).Err(errors.New("x")).Emit()
+	l.Debug("d").Emit()
+	l.Warn("w").Emit()
+	l.Error("e").Emit()
+	if NewLogger(nil) != nil {
+		t.Fatal("NewLogger(nil) must return the disabled (nil) logger")
+	}
+}
+
+func TestLoggerLevelGate(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLogger(&buf, slog.LevelWarn)
+	l.Debug("job_dispatch").Str("job", "x").Emit()
+	l.Info("job_complete").Emit()
+	if buf.Len() != 0 {
+		t.Fatalf("below-level events reached the handler:\n%s", buf.String())
+	}
+	l.Warn("job_retry").Emit()
+	if !strings.Contains(buf.String(), "job_retry") {
+		t.Fatalf("at-level event suppressed:\n%s", buf.String())
+	}
+}
+
+func TestLoggerErrSkipsNil(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewJSONLogger(&buf, slog.LevelInfo)
+	l.Info("workflow_complete").Err(nil).Emit()
+	if strings.Contains(buf.String(), `"err"`) {
+		t.Fatalf("nil error produced an err field:\n%s", buf.String())
+	}
+}
+
+func TestTextLoggerLine(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewTextLogger(&buf, slog.LevelInfo)
+	l.WithRun("r1").Info("workflow_start").Str("workflow", "q1").Emit()
+	line := buf.String()
+	for _, frag := range []string{"msg=workflow_start", "run=r1", "workflow=q1"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("text line missing %q: %s", frag, line)
+		}
+	}
+}
+
+func TestLoggerConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	safe := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	l := NewJSONLogger(safe, slog.LevelInfo)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			jl := l.WithRun("r").WithAttempt(g)
+			for i := 0; i < 50; i++ {
+				jl.Info("job_complete").Int("i", int64(i)).Emit()
+			}
+		}(g)
+	}
+	wg.Wait()
+	mu.Lock()
+	lines := strings.Count(buf.String(), "\n")
+	mu.Unlock()
+	if lines != 400 {
+		t.Fatalf("got %d events, want 400", lines)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

@@ -19,6 +19,7 @@ type Registry struct {
 	counters map[string]*Counter
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
+	kinds    map[string]string // name → "counter"|"gauge"|"histogram"
 }
 
 // NewRegistry returns an empty registry.
@@ -27,7 +28,22 @@ func NewRegistry() *Registry {
 		counters: map[string]*Counter{},
 		gauges:   map[string]*Gauge{},
 		hists:    map[string]*Histogram{},
+		kinds:    map[string]string{},
 	}
+}
+
+// checkKind registers name under kind, panicking with a clear message when
+// the name is already an instrument of a different kind. Silent shadowing
+// — the same name living in two instrument families, each call site seeing
+// its own — would corrupt the exposition (duplicate metric names with
+// conflicting types), so a kind conflict is a programmer error surfaced at
+// the offending call site, exactly like re-registration panics in the
+// standard Prometheus client. Callers hold r.mu.
+func (r *Registry) checkKind(name, kind string) {
+	if have, ok := r.kinds[name]; ok && have != kind {
+		panic(fmt.Sprintf("obs: metric %q already registered as a %s, cannot re-register as a %s", name, have, kind))
+	}
+	r.kinds[name] = kind
 }
 
 // Counter is a monotonically increasing integer metric.
@@ -115,8 +131,42 @@ func (s HistogramSnapshot) Mean() float64 {
 	return s.Sum / float64(s.Count)
 }
 
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the cumulative
+// buckets, interpolating linearly within the bucket that contains the
+// target rank — the same estimate Prometheus's histogram_quantile()
+// computes server-side. The first bucket interpolates from zero (all
+// registry histograms observe non-negative latencies and volumes); ranks
+// landing in the overflow bucket clamp to the highest finite bound, the
+// largest value the bucket layout can attest. Returns 0 when empty.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, bound := range s.Bounds {
+		in := float64(s.Counts[i])
+		if cum+in >= rank && in > 0 {
+			lower := 0.0
+			if i > 0 {
+				lower = s.Bounds[i-1]
+			}
+			return lower + (bound-lower)*((rank-cum)/in)
+		}
+		cum += in
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
 // Counter returns the named counter, creating it on first use. Nil
-// registry → nil counter (whose Add is a free no-op).
+// registry → nil counter (whose Add is a free no-op). Panics if name is
+// already registered as a different instrument kind.
 func (r *Registry) Counter(name string) *Counter {
 	if r == nil {
 		return nil
@@ -125,13 +175,15 @@ func (r *Registry) Counter(name string) *Counter {
 	defer r.mu.Unlock()
 	c, ok := r.counters[name]
 	if !ok {
+		r.checkKind(name, "counter")
 		c = &Counter{}
 		r.counters[name] = c
 	}
 	return c
 }
 
-// Gauge returns the named gauge, creating it on first use.
+// Gauge returns the named gauge, creating it on first use. Panics if name
+// is already registered as a different instrument kind.
 func (r *Registry) Gauge(name string) *Gauge {
 	if r == nil {
 		return nil
@@ -140,6 +192,7 @@ func (r *Registry) Gauge(name string) *Gauge {
 	defer r.mu.Unlock()
 	g, ok := r.gauges[name]
 	if !ok {
+		r.checkKind(name, "gauge")
 		g = &Gauge{}
 		r.gauges[name] = g
 	}
@@ -148,7 +201,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 
 // Histogram returns the named histogram, creating it with the given bucket
 // upper bounds on first use (defaults when none are given). Bounds are
-// fixed at creation; later calls ignore them.
+// fixed at creation; later calls ignore them. Panics if name is already
+// registered as a different instrument kind.
 func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	if r == nil {
 		return nil
@@ -157,6 +211,7 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	defer r.mu.Unlock()
 	h, ok := r.hists[name]
 	if !ok {
+		r.checkKind(name, "histogram")
 		b := bounds
 		if len(b) == 0 {
 			b = defaultBuckets
@@ -222,7 +277,11 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WriteText writes the snapshot as a sorted, human-readable dump:
 //
 //	counter  jobs_completed_total            12
-//	hist     sched_queue_wait_ms             count=12 mean=0.41
+//	hist     sched_queue_wait_ms             count=12 mean=0.41 p50=0.38 p90=0.8 p99=0.97 sum=4.9
+//
+// Histogram quantiles are derived from the cumulative buckets (see
+// HistogramSnapshot.Quantile), so p50/p90/p99 are bucket-resolution
+// estimates, not exact order statistics.
 func (r *Registry) WriteText(w io.Writer) error {
 	snap := r.Snapshot()
 	var names []string
@@ -252,7 +311,8 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, n := range names {
 		h := snap.Histograms[n]
-		if _, err := fmt.Fprintf(w, "hist     %-36s count=%d mean=%.3g sum=%.3g\n", n, h.Count, h.Mean(), h.Sum); err != nil {
+		if _, err := fmt.Fprintf(w, "hist     %-36s count=%d mean=%.3g p50=%.3g p90=%.3g p99=%.3g sum=%.3g\n",
+			n, h.Count, h.Mean(), h.Quantile(0.5), h.Quantile(0.9), h.Quantile(0.99), h.Sum); err != nil {
 			return err
 		}
 	}

@@ -3,6 +3,9 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
+	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,12 +56,18 @@ func TestEndIdempotent(t *testing.T) {
 }
 
 // TestDisabledPathAllocs is the hot-path guard: with observability disabled
-// (nil recorder, nil registry) every instrumentation call must be a free
-// no-op — zero allocations — so the kernel and scheduler hot paths pay
-// nothing when no one is watching. ci.sh runs this test explicitly.
+// (nil recorder, nil registry, nil or level-gated logger) every
+// instrumentation call must be a free no-op — zero allocations — so the
+// kernel and scheduler hot paths pay nothing when no one is watching.
+// ci.sh runs this test explicitly.
 func TestDisabledPathAllocs(t *testing.T) {
 	var rec *Recorder
 	var reg *Registry
+	var log *Logger
+	// A real logger whose handler level suppresses the emitted events: the
+	// Enabled gate must reject them before any allocation.
+	gated := NewJSONLogger(io.Discard, slog.LevelError).WithRun("r1").WithJob("j")
+	err := errors.New("boom")
 	allocs := testing.AllocsPerRun(1000, func() {
 		sp := rec.StartSpan(nil, "job", "job")
 		sp.NewTrack()
@@ -70,6 +79,10 @@ func TestDisabledPathAllocs(t *testing.T) {
 		reg.Counter("jobs_completed_total").Add(1)
 		reg.Gauge("workers").Set(4)
 		reg.Histogram("sched_queue_wait_ms").Observe(0.25)
+		log.WithJob("j").WithAttempt(1).
+			Info("job_complete").Str("engine", "spark").Int("attempt", 1).Float("s", 0.25).Bool("ok", true).Err(err).Emit()
+		gated.Debug("job_dispatch").Str("engine", "spark").Int("attempt", 1).Emit()
+		gated.Info("job_complete").Float("s", 0.25).Err(err).Emit()
 	})
 	if allocs != 0 {
 		t.Fatalf("disabled observability allocated %.1f times per op, want 0", allocs)
@@ -195,6 +208,48 @@ func TestChromeTraceZeroTimesDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(buf1.String(), `"attempt":0`) {
 		t.Fatal("ZeroTimes dropped a structural integer attribute")
+	}
+}
+
+// TestChromeTraceEscapesHostileNames proves span names, categories, attr
+// keys, and string values containing quotes, backslashes, control bytes,
+// and multi-byte UTF-8 survive the trace export as valid JSON and decode
+// back to the original strings (the writer escapes via json.Marshal — this
+// pins that contract).
+func TestChromeTraceEscapesHostileNames(t *testing.T) {
+	hostile := `sel "σ" \ slash
+newline	tab 日本語 🎯`
+	rec := NewRecorder()
+	root := rec.StartSpan(nil, hostile, `cat"egory\`)
+	root.SetStr(`key"with\quotes`, hostile)
+	root.End()
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf, TraceOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("hostile names broke the trace JSON: %v\n%s", err, buf.String())
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("got %d events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Name != hostile {
+		t.Errorf("name did not round-trip: %q", ev.Name)
+	}
+	if ev.Cat != `cat"egory\` {
+		t.Errorf("category did not round-trip: %q", ev.Cat)
+	}
+	if ev.Args[`key"with\quotes`] != hostile {
+		t.Errorf("attr did not round-trip: %v", ev.Args)
 	}
 }
 

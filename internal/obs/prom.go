@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text-exposition export (format version 0.0.4) for the metrics
+// registry — the scrape half of the live telemetry plane. Everything here
+// is stdlib-only and deterministic: families are emitted counters → gauges
+// → histograms, name-sorted within each block, and floats are rendered
+// with strconv's shortest round-trip formatting, so two scrapes of an idle
+// registry are byte-identical. Histogram buckets follow the Prometheus
+// convention: cumulative counts per `le` upper bound, a final `+Inf`
+// bucket equal to `_count`, plus `_sum` and `_count` series.
+
+// PromContentType is the Content-Type of the text exposition format, set
+// by the debug server's /metrics handler.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promName sanitizes a registry metric name into a legal Prometheus metric
+// name ([a-zA-Z_:][a-zA-Z0-9_:]*). Registry names are already Go
+// identifiers with underscores; this is the safety net for anything else.
+func promName(name string) string {
+	ok := true
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		legal := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if !legal {
+			ok = false
+			break
+		}
+	}
+	if ok && name != "" {
+		return name
+	}
+	var b strings.Builder
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '_' || c == ':',
+			c >= 'a' && c <= 'z',
+			c >= 'A' && c <= 'Z',
+			c >= '0' && c <= '9' && b.Len() > 0:
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// promFloat renders a float64 as Prometheus expects: shortest exact
+// decimal, with the special values spelled +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Exposition-format line shapes: `# TYPE <name> <type>` comments, then
+// samples `<name>[{le="<bound>"}] <value>`.
+var (
+	promTypeRe   = regexp.MustCompile(`^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$`)
+	promSampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{le="[^"]+"\})? (-?[0-9.eE+-]+|\+Inf|-Inf|NaN)$`)
+)
+
+// ValidatePromText checks every line of a text exposition for well-formed
+// TYPE comments and sample lines with parseable values — the scrape
+// validator behind ci.sh's debug-server stage and the exporter's own
+// tests. Returns the first malformed line's error, or nil.
+func ValidatePromText(text string) error {
+	sc := bufio.NewScanner(strings.NewReader(text))
+	line := 0
+	for sc.Scan() {
+		line++
+		l := sc.Text()
+		if l == "" {
+			continue
+		}
+		if strings.HasPrefix(l, "#") {
+			if !promTypeRe.MatchString(l) {
+				return fmt.Errorf("malformed exposition line %d: %s", line, l)
+			}
+			continue
+		}
+		m := promSampleRe.FindStringSubmatch(l)
+		if m == nil {
+			return fmt.Errorf("malformed exposition line %d: %s", line, l)
+		}
+		if val := m[3]; val != "+Inf" && val != "-Inf" && val != "NaN" {
+			if _, err := strconv.ParseFloat(val, 64); err != nil {
+				return fmt.Errorf("malformed exposition line %d (bad value %q): %s", line, val, l)
+			}
+		}
+	}
+	return sc.Err()
+}
+
+// WritePrometheus writes every metric in the Prometheus text exposition
+// format. Output is deterministic for fixed metric values: counter, gauge,
+// and histogram families are each sorted by name, so an idle registry
+// scrapes byte-identically every time.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	names := make([]string, 0, len(snap.Counters))
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(snap.Gauges[n])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Histograms[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum), pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/metrics.golden.prom from current exporter output")
+
+// promRegistry builds a registry with fixed, representative contents: the
+// golden fixture and the byte-stability subject.
+func promRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("sched_jobs_completed_total").Add(12)
+	reg.Counter("dfs_pull_bytes_total").Add(1 << 31)
+	reg.Counter("workflows_failed_total") // registered but never incremented
+	reg.Gauge("sched_workers").Set(8)
+	reg.Gauge("estimator_mean_error").Set(-0.125)
+	h := reg.Histogram("sched_queue_wait_ms", 1, 5, 10, 50)
+	for _, v := range []float64{0.5, 0.5, 3, 7, 7, 7, 42, 1000} {
+		h.Observe(v)
+	}
+	reg.Histogram("chaos_recovery_s", 0.1, 1, 10) // empty histogram
+	return reg
+}
+
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "metrics.golden.prom")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/obs -run TestPrometheusGolden -update` to create it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestPrometheusByteStableAcrossScrapes(t *testing.T) {
+	reg := promRegistry()
+	var a, b bytes.Buffer
+	if err := reg.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two scrapes of an idle registry differ:\n%s\n--\n%s", a.String(), b.String())
+	}
+}
+
+func TestPrometheusLinesValid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidatePromText(buf.String()); err != nil {
+		t.Fatalf("%v\nfull exposition:\n%s", err, buf.String())
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	var buf bytes.Buffer
+	if err := promRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	// sched_queue_wait_ms observed {0.5,0.5,3,7,7,7,42,1000} over bounds
+	// 1,5,10,50 → cumulative 2,3,6,7 and +Inf = 8.
+	for _, want := range []string{
+		`sched_queue_wait_ms_bucket{le="1"} 2`,
+		`sched_queue_wait_ms_bucket{le="5"} 3`,
+		`sched_queue_wait_ms_bucket{le="10"} 6`,
+		`sched_queue_wait_ms_bucket{le="50"} 7`,
+		`sched_queue_wait_ms_bucket{le="+Inf"} 8`,
+		`sched_queue_wait_ms_count 8`,
+	} {
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	// The empty histogram still exposes its full shape.
+	if !strings.Contains(text, `chaos_recovery_s_bucket{le="+Inf"} 0`+"\n") {
+		t.Errorf("empty histogram not exposed:\n%s", text)
+	}
+}
+
+func TestPromNameSanitization(t *testing.T) {
+	for in, want := range map[string]string{
+		"sched_jobs_total": "sched_jobs_total",
+		"weird metric-né":  "weird_metric_n__", // é is two UTF-8 bytes
+		"0starts_digit":    "_starts_digit",
+		"":                 "_",
+	} {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("q", 10, 20, 30, 40)
+	// 100 observations at bucket midpoints-ish, uniform in (0,40): 25 per
+	// bucket (offset by half a step so none lands exactly on a bound).
+	for i := 0; i < 100; i++ {
+		h.Observe((float64(i) + 0.5) * 0.4)
+	}
+	s := reg.Snapshot().Histograms["q"]
+	if got := s.Quantile(0.5); math.Abs(got-20) > 1e-9 {
+		t.Errorf("p50 = %g, want 20", got)
+	}
+	if got := s.Quantile(0.9); math.Abs(got-36) > 1e-9 {
+		t.Errorf("p90 = %g, want 36", got)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %g, want 0", got)
+	}
+	if got := s.Quantile(1); math.Abs(got-40) > 1e-9 {
+		t.Errorf("p100 = %g, want 40", got)
+	}
+
+	// Ranks landing in the overflow bucket clamp to the top finite bound.
+	h2 := reg.Histogram("q2", 1, 2)
+	h2.Observe(0.5)
+	h2.Observe(100)
+	h2.Observe(200)
+	s2 := reg.Snapshot().Histograms["q2"]
+	if got := s2.Quantile(0.99); got != 2 {
+		t.Errorf("overflow p99 = %g, want 2 (top finite bound)", got)
+	}
+
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty quantile = %g, want 0", got)
+	}
+}
+
+func TestRegistryRejectsKindConflicts(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("jobs_total").Add(1)
+	// Same name, same kind: fine, same instrument back.
+	if reg.Counter("jobs_total") == nil {
+		t.Fatal("re-fetching a counter by name must return it")
+	}
+	// Same name, different kind: a clear panic naming both kinds.
+	assertPanics(t, "counter→gauge", "already registered as a counter", func() { reg.Gauge("jobs_total") })
+	assertPanics(t, "counter→histogram", "already registered as a counter", func() { reg.Histogram("jobs_total") })
+	reg.Histogram("wait_ms").Observe(1)
+	assertPanics(t, "histogram→counter", "already registered as a histogram", func() { reg.Counter("wait_ms") })
+	reg.Gauge("workers").Set(4)
+	assertPanics(t, "gauge→histogram", "already registered as a gauge", func() { reg.Histogram("workers") })
+}
+
+func assertPanics(t *testing.T, name, wantMsg string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Errorf("%s: expected a kind-conflict panic, got none", name)
+			return
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, wantMsg) {
+			t.Errorf("%s: panic %q does not name the registered kind (%q)", name, msg, wantMsg)
+		}
+	}()
+	fn()
+}

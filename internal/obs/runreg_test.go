@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestRunRegistryRecordGetEvict(t *testing.T) {
+	reg := NewRunRegistry(3)
+	if reg.Limit() != 3 {
+		t.Fatalf("Limit = %d, want 3", reg.Limit())
+	}
+	var ids []string
+	for i := 0; i < 5; i++ {
+		rec := NewRecorder()
+		rec.StartSpan(nil, "workflow", "pipeline").End()
+		id := reg.Record(RunDigest{Workflow: fmt.Sprintf("w%d", i), Status: "ok"}, rec)
+		ids = append(ids, id)
+	}
+	if reg.Len() != 3 {
+		t.Fatalf("Len = %d, want retention bound 3", reg.Len())
+	}
+	// IDs stay unique and monotonic across evictions.
+	if ids[0] == ids[4] || ids[4] != "r5" {
+		t.Fatalf("ids = %v", ids)
+	}
+	// Oldest two evicted, newest three retained, newest first.
+	runs := reg.Runs()
+	if len(runs) != 3 || runs[0].Workflow != "w4" || runs[2].Workflow != "w2" {
+		t.Fatalf("runs = %+v", runs)
+	}
+	if _, _, ok := reg.Get(ids[0]); ok {
+		t.Fatal("evicted run still addressable")
+	}
+	d, rec, ok := reg.Get(ids[4])
+	if !ok || d.Workflow != "w4" || rec == nil {
+		t.Fatalf("Get(%s) = %+v, rec=%v, ok=%v", ids[4], d, rec, ok)
+	}
+	if !d.Traced || d.Spans != 1 {
+		t.Fatalf("digest not annotated with recorder state: %+v", d)
+	}
+}
+
+func TestRunRegistryUntracedRun(t *testing.T) {
+	reg := NewRunRegistry(0) // default retention
+	if reg.Limit() != DefaultRunRetention {
+		t.Fatalf("default retention = %d", reg.Limit())
+	}
+	id := reg.Record(RunDigest{Status: "failed", Err: "boom"}, nil)
+	d, rec, ok := reg.Get(id)
+	if !ok || rec != nil || d.Traced || d.Spans != 0 {
+		t.Fatalf("untraced digest = %+v rec=%v ok=%v", d, rec, ok)
+	}
+}
+
+func TestRunRegistryNilSafe(t *testing.T) {
+	var reg *RunRegistry
+	if id := reg.Record(RunDigest{}, nil); id != "" {
+		t.Fatalf("nil registry assigned id %q", id)
+	}
+	if reg.Runs() != nil || reg.Len() != 0 || reg.Limit() != 0 {
+		t.Fatal("nil registry not inert")
+	}
+	if _, _, ok := reg.Get("r1"); ok {
+		t.Fatal("nil registry resolved an id")
+	}
+}
+
+func TestRunRegistryConcurrent(t *testing.T) {
+	reg := NewRunRegistry(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				reg.Record(RunDigest{Status: "ok"}, nil)
+				reg.Runs()
+				reg.Get("r1")
+			}
+		}()
+	}
+	wg.Wait()
+	if reg.Len() != 16 {
+		t.Fatalf("Len = %d, want 16", reg.Len())
+	}
+}

@@ -28,6 +28,8 @@ package musketeer
 import (
 	"context"
 	"fmt"
+	"log/slog"
+	"net/http"
 	"sort"
 	"strings"
 	"sync"
@@ -95,6 +97,15 @@ type (
 	AccuracyLog = obs.AccuracyLog
 	// AccuracySummary condenses an accuracy log.
 	AccuracySummary = obs.AccuracySummary
+	// RunLogger is the leveled structured run logger plumbed through the
+	// scheduler, runner, and engines (see WithRunLog).
+	RunLogger = obs.Logger
+	// RunDigest is the retained summary of one execution (see Runs).
+	RunDigest = obs.RunDigest
+	// RunJobDigest summarizes one scheduled job of a retained execution.
+	RunJobDigest = obs.RunJobDigest
+	// RunRegistry is the bounded in-process registry of recent executions.
+	RunRegistry = obs.RunRegistry
 )
 
 // LoadAccuracyLog reads an estimator-accuracy log saved by AccuracyLog.Save;
@@ -148,6 +159,13 @@ type Musketeer struct {
 	// track record are cheap and shared by every execution.
 	metrics  *obs.Registry
 	accuracy *obs.AccuracyLog
+	// runs retains digests of the last N executions (always on: a digest is
+	// a few hundred bytes; flight recorders are retained only when tracing).
+	runs         *obs.RunRegistry
+	runRetention int
+	// logger is the deployment's run logger; nil (the default) disables
+	// structured logging at zero cost.
+	logger *obs.Logger
 	// adaptiveWhile lets long WHILE loops re-plan mid-flight when observed
 	// per-iteration spans diverge >2x from the prediction; off by default
 	// so golden traces stay reproducible.
@@ -251,6 +269,23 @@ func WithAdaptiveWhile() Option {
 	return func(m *Musketeer) { m.adaptiveWhile = true }
 }
 
+// WithRunLog installs a structured run logger on the deployment: every
+// admission, dispatch, retry, fault recovery, speculation, and calibration
+// update emits one leveled, machine-parseable record through the given
+// slog handler, scoped with run/job/attempt attributes. Use
+// slog.NewJSONHandler for log pipelines or slog.NewTextHandler for a
+// human tail. A nil handler (the default) disables logging at zero cost —
+// the disabled path allocates nothing.
+func WithRunLog(h slog.Handler) Option {
+	return func(m *Musketeer) { m.logger = obs.NewLogger(h) }
+}
+
+// WithRunRetention bounds how many execution digests the deployment
+// retains for /debug/runs (default obs.DefaultRunRetention).
+func WithRunRetention(n int) Option {
+	return func(m *Musketeer) { m.runRetention = n }
+}
+
 // WithTransientFailures kills individual job attempts outright with the
 // given probability (deterministic per seed, job, and attempt). Combine
 // with WithRetries to exercise the scheduler's re-submission path; without
@@ -279,11 +314,13 @@ func New(opts ...Option) *Musketeer {
 	for _, o := range opts {
 		o(m)
 	}
+	m.runs = obs.NewRunRegistry(m.runRetention)
 	m.sched = sched.New(sched.Options{
 		Workers:             m.workers,
 		MaxRetries:          m.retries,
 		Retryable:           engines.IsTransient,
 		Metrics:             m.metrics,
+		Log:                 m.logger,
 		SpeculativeMultiple: m.chaos.SpecMultiple(),
 	})
 	return m
@@ -297,6 +334,20 @@ func (m *Musketeer) Metrics() *MetricsRegistry { return m.metrics }
 // Accuracy returns the deployment's estimator-accuracy log: one
 // predicted-vs-measured record per executed workflow.
 func (m *Musketeer) Accuracy() *AccuracyLog { return m.accuracy }
+
+// Runs returns the deployment's run registry: bounded digests of the last
+// N executions (per-phase rollups, predicted-vs-measured accuracy,
+// chaos/recovery counts, chosen engine per fragment).
+func (m *Musketeer) Runs() *RunRegistry { return m.runs }
+
+// DebugHandler returns the deployment's debug-plane HTTP handler:
+// /metrics (Prometheus text exposition), /debug/runs, /debug/runs/<id>,
+// /debug/runs/<id>/trace (Chrome trace JSON, traced runs only), /healthz,
+// and the stock /debug/pprof endpoints. Serve it on a private listener
+// (`musketeer -debug-addr :6060`) or mount it in tests with httptest.
+func (m *Musketeer) DebugHandler() http.Handler {
+	return obs.DebugMux(m.metrics, m.runs)
+}
 
 // startRun opens a flight recorder for one execution (nil when tracing is
 // off — every instrumentation site downstream then no-ops for free).
@@ -577,6 +628,9 @@ type Result struct {
 	// Accuracy compares the planner's predicted per-job costs and critical
 	// path against what this execution measured.
 	Accuracy *WorkflowAccuracy
+	// RunID addresses this execution's digest in the deployment's run
+	// registry (Runs, /debug/runs/<id>).
+	RunID string
 }
 
 // Run executes a previously computed partitioning with no cancellation
@@ -600,18 +654,73 @@ func (w *Workflow) RunCtx(ctx context.Context, part *Partitioning) (*Result, err
 	return w.runSession(ctx, part, rec, root)
 }
 
+// workflowName labels an execution by its sink relations.
+func (w *Workflow) workflowName() string {
+	var sinks []string
+	for _, s := range w.dag.Sinks() {
+		sinks = append(sinks, s.Out)
+	}
+	sort.Strings(sinks)
+	return strings.Join(sinks, ",")
+}
+
 // runSession executes a partitioning inside a fresh DFS session namespace
-// beneath an (optional) workflow root span.
+// beneath an (optional) workflow root span. Every execution — success or
+// failure — leaves a digest in the deployment's run registry and, when a
+// run logger is installed, a workflow_start/workflow_complete (or
+// workflow_failed) event pair bracketing the job-level events.
 func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.Recorder, root *obs.Span) (*Result, error) {
 	ns := fmt.Sprintf("__run/%d", w.m.runSeq.Add(1))
 	root.SetStr("namespace", ns)
+	name := w.workflowName()
+	start := time.Now()
+	log := w.m.logger.WithRun(ns)
+	log.Info("workflow_start").Str("workflow", name).Int("jobs", int64(len(part.Jobs))).Emit()
+	digest := func(status string, res *core.WorkflowResult, runErr error) string {
+		d := obs.RunDigest{
+			Workflow:  name,
+			Namespace: ns,
+			Start:     start,
+			WallMS:    time.Since(start).Seconds() * 1e3,
+			Status:    status,
+			Phases:    obs.PhaseRates(rec),
+		}
+		if runErr != nil {
+			d.Err = runErr.Error()
+		}
+		if res != nil {
+			d.MakespanS = float64(res.Makespan)
+			d.OOM = res.OOM
+			if res.Accuracy != nil {
+				d.PredictedS = res.Accuracy.PredictedMakespanS
+				d.MakespanError = res.Accuracy.MakespanError
+				for _, j := range res.Accuracy.Jobs {
+					d.Jobs = append(d.Jobs, obs.RunJobDigest{
+						Job: j.Job, Engine: j.Engine,
+						PredictedS: j.PredictedS, ActualS: j.ActualS, Error: j.Error,
+					})
+				}
+			}
+			for _, jr := range res.Jobs {
+				d.Faults += jr.Failures
+				d.RecoveryS += float64(jr.Recovery)
+				d.Checkpoints += jr.Checkpoints
+				d.DFSRetries += jr.DFSRetries
+			}
+		}
+		return w.m.runs.Record(d, rec)
+	}
 	for _, op := range w.dag.Ops {
 		if op.Type != ir.OpInput {
 			continue
 		}
 		path := engines.InputPath(op)
 		if err := w.m.fs.Copy(path, ns+"/"+path); err != nil {
-			return nil, fmt.Errorf("musketeer: staging input %q into session: %w", op.Out, err)
+			err = fmt.Errorf("musketeer: staging input %q into session: %w", op.Out, err)
+			w.m.metrics.Counter("workflows_failed_total").Add(1)
+			log.Error("workflow_failed").Str("workflow", name).Err(err).Emit()
+			digest("failed", nil, err)
+			return nil, err
 		}
 	}
 	shuffleCodec := relation.CodecTSV
@@ -627,19 +736,33 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		Span:          root,
 		Metrics:       w.m.metrics,
 		Accuracy:      w.m.accuracy,
+		Log:           log,
 		AdaptiveWhile: w.m.adaptiveWhile,
 	}
 	res, err := r.ExecuteCtx(ctx, w.dag, part)
 	if err != nil {
 		w.m.metrics.Counter("workflows_failed_total").Add(1)
+		log.Error("workflow_failed").Str("workflow", name).Err(err).Emit()
+		digest("failed", nil, err)
 		return nil, err
 	}
 	for _, sink := range w.dag.Sinks() {
 		if err := w.m.fs.Copy(ns+"/"+sink.Out, sink.Out); err != nil {
-			return nil, fmt.Errorf("musketeer: publishing output %q: %w", sink.Out, err)
+			err = fmt.Errorf("musketeer: publishing output %q: %w", sink.Out, err)
+			w.m.metrics.Counter("workflows_failed_total").Add(1)
+			log.Error("workflow_failed").Str("workflow", name).Err(err).Emit()
+			digest("failed", res, err)
+			return nil, err
 		}
 	}
 	w.m.metrics.Counter("workflows_completed_total").Add(1)
+	runID := digest("ok", res, nil)
+	log.Info("workflow_complete").
+		Str("workflow", name).
+		Str("run_id", runID).
+		Float("makespan_s", float64(res.Makespan)).
+		Float("wall_ms", time.Since(start).Seconds()*1e3).
+		Emit()
 	return &Result{
 		Makespan:     res.Makespan,
 		SumJobTime:   res.SumJobTime,
@@ -649,6 +772,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		Namespace:    ns,
 		Flight:       rec,
 		Accuracy:     res.Accuracy,
+		RunID:        runID,
 	}, nil
 }
 
