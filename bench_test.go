@@ -1,4 +1,7 @@
-package musketeer
+// An external test package so internal/bench may itself import musketeer
+// (the service bench drives the root serve handler) without a cycle
+// through this file.
+package musketeer_test
 
 // One testing.B benchmark per paper table and figure. Each benchmark
 // regenerates the corresponding experiment through the full pipeline

@@ -1,7 +1,8 @@
 #!/bin/sh
-# CI gate: vet, build, mkvet, full test suite, then the suite again under
-# the race detector. The race pass matters here — the kernels, TSV codecs,
-# the exhaustive partitioner, and the job scheduler all shard work across
+# CI gate: vet, build, mkvet, full test suite, the suite again under the
+# race detector, and the named behavioral gates. The race pass matters
+# here — the kernels, TSV codecs, the exhaustive partitioner, the job
+# scheduler, and the multi-tenant serve plane all shard work across
 # goroutines, and concurrent workflow executions share the DFS state, the
 # history store, and the estimator fragment cache — exactly the kind of
 # state a race would corrupt silently (the concurrent-Execute stress tests
@@ -15,6 +16,15 @@
 # (the JSON report lands in mkvet-report.json for the workflow artifact),
 # exit 2 means the tree does not even type-check; the analyzer's golden
 # corpus tests run as part of the normal test suite.
+#
+# Usage: ./ci.sh [build|test|gates]
+#
+# With no argument every group runs in sequence (the full local gate).
+# Naming a group runs just that slice — the GitHub workflow fans the three
+# groups out as parallel jobs sharing one module cache:
+#   build — go vet, go build, mkvet
+#   test  — go test, go test -race (both with timeout guards)
+#   gates — the named behavioral gates below
 #
 # Named gates (each one a stage so a regression names itself):
 #   golden trace      — the two-engine workflow's span tree is byte-stable
@@ -30,6 +40,10 @@
 #   flaky gate        — the concurrency/scheduler/chaos suites 3x back to
 #                       back with -shuffle=on: a test that only fails
 #                       sometimes, or only in one order, fails here
+#   service smoke     — the serve plane end to end over httptest: a
+#                       two-engine workflow as one tenant, a plan-cached
+#                       resubmission as another, status polling, and
+#                       tenant-isolation probes — plain and under -race
 #   benchmark gate    — fresh kernel benchmarks (time, allocs, and B/op) and
 #   (mkbenchgate)       a fresh concurrency run vs the committed
 #                       BENCH_*.json baselines (25%)
@@ -40,20 +54,41 @@
 #                       converge (round-3 mean |makespan error| below
 #                       round 1) and stay within 25% of the committed
 #                       BENCH_accuracy.json per-workflow errors
+#   service bench     — a fresh mkbench -service run (cold/hit/storm over
+#                       the multi-tenant serve plane) vs the committed
+#                       BENCH_service.json: plan-cache speedup, storm hit
+#                       rate, and p99 latencies via mkbenchgate
 #
-# Every stage is timed; the summary prints per-stage wall seconds.
+# Every stage is timed; the summary prints per-stage wall seconds and the
+# same numbers land in ci-stage-times-<group>.json for the workflow's
+# artifact upload.
 set -eu
 
 cd "$(dirname "$0")"
 
+GROUP="${1:-all}"
+case "$GROUP" in
+build | test | gates | all) ;;
+*)
+    echo "usage: ./ci.sh [build|test|gates]" >&2
+    exit 2
+    ;;
+esac
+
 STAGES=""
+STAGE_JSON=""
 stage() {
-    name="$1"; shift
+    name="$1"
+    shift
     echo "== $name =="
     start=$(date +%s)
     "$@"
-    secs=$(( $(date +%s) - start ))
+    secs=$(($(date +%s) - start))
     STAGES="$STAGES$(printf '%5ss  %s' "$secs" "$name")\n"
+    if [ -n "$STAGE_JSON" ]; then
+        STAGE_JSON="$STAGE_JSON,"
+    fi
+    STAGE_JSON="$STAGE_JSON{\"stage\":\"$name\",\"seconds\":$secs}"
 }
 
 bench_gate() {
@@ -61,7 +96,7 @@ bench_gate() {
     # host doesn't trip the threshold while a real slowdown (all three runs
     # slow) still does.
     go test -bench 'BenchmarkKernel|BenchmarkRowKey|BenchmarkSortRows|BenchmarkEncodeDecode|BenchmarkPartitionExhaustive|BenchmarkStream' \
-        -benchmem -run '^$' -count=3 \
+        -benchmem -run '^$' -count=3 -timeout 20m \
         ./internal/exec ./internal/relation ./internal/bench > /tmp/mk_bench_fresh.txt
     go run ./cmd/mkbench -concurrency 2 -concurrency-json /tmp/mk_conc_fresh.json > /dev/null
     go run ./cmd/mkbenchgate \
@@ -90,17 +125,6 @@ streaming_gate() {
     go run ./cmd/mkbench -streaming -streaming-rows 50000 -streaming-json /tmp/mk_streaming_fresh.json
 }
 
-stage "go vet"                     go vet ./...
-stage "go build"                   go build ./...
-stage "mkvet"                      mkvet_gate
-stage "go test"                    go test ./...
-stage "golden trace"               go test -count=1 -run 'TestTraceGolden' .
-stage "chaos golden"               go test -count=1 -run 'TestChaosGolden' .
-stage "obs disabled-path alloc guard" go test -count=1 -run 'TestDisabledPathAllocs' ./internal/obs
-stage "telemetry scrape gate" \
-    go test -count=1 -run 'TestDebugServerScrape|TestConcurrentScrapeDuringChaoticExecutes|TestPrometheusLinesValid|TestPrometheusByteStableAcrossScrapes' . ./internal/obs
-stage "flaky gate (3x shuffled concurrency/sched/chaos)" \
-    go test -short -count=3 -shuffle=on -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
 calibration_gate() {
     # The fresh run mirrors how the committed baseline is produced
     # (`go run ./cmd/mkbench -accuracy -rounds 3 -accuracy-json
@@ -112,11 +136,45 @@ calibration_gate() {
         -fresh-accuracy /tmp/mk_accuracy_fresh.json
 }
 
-stage "benchmark regression gate"  bench_gate
-stage "streaming benchmark"        streaming_gate
-stage "calibration convergence gate" calibration_gate
-stage "go test -race"              go test -race ./...
+service_gate() {
+    # The fresh run mirrors the committed baseline's full size
+    # (`go run ./cmd/mkbench -service -1 -service-json BENCH_service.json`):
+    # the storm's latency distribution depends on the session count, so a
+    # reduced fresh run would compare a different experiment.
+    go run ./cmd/mkbench -service -1 -service-json /tmp/mk_service_fresh.json > /dev/null
+    go run ./cmd/mkbenchgate -service BENCH_service.json \
+        -fresh-service /tmp/mk_service_fresh.json
+}
 
-echo "== stage times =="
+if [ "$GROUP" = all ] || [ "$GROUP" = build ]; then
+    stage "go vet" go vet ./...
+    stage "go build" go build ./...
+    stage "mkvet" mkvet_gate
+fi
+
+if [ "$GROUP" = all ] || [ "$GROUP" = test ]; then
+    stage "go test" go test -timeout 10m ./...
+    stage "go test -race" go test -race -timeout 20m ./...
+fi
+
+if [ "$GROUP" = all ] || [ "$GROUP" = gates ]; then
+    stage "golden trace" go test -count=1 -timeout 5m -run 'TestTraceGolden' .
+    stage "chaos golden" go test -count=1 -timeout 5m -run 'TestChaosGolden' .
+    stage "obs disabled-path alloc guard" go test -count=1 -timeout 5m -run 'TestDisabledPathAllocs' ./internal/obs
+    stage "telemetry scrape gate" \
+        go test -count=1 -timeout 5m -run 'TestDebugServerScrape|TestConcurrentScrapeDuringChaoticExecutes|TestPrometheusLinesValid|TestPrometheusByteStableAcrossScrapes' . ./internal/obs
+    stage "flaky gate (3x shuffled concurrency/sched/chaos)" \
+        go test -short -count=3 -shuffle=on -timeout 15m -run 'Concurrent|Sched|Chaos|Speculat|Fault|Recover' ./internal/sched ./internal/core ./internal/engines .
+    stage "service smoke gate" go test -count=1 -timeout 5m -run 'TestServe' .
+    stage "service smoke gate (-race)" go test -race -count=1 -timeout 10m -run 'TestServe' .
+    stage "benchmark regression gate" bench_gate
+    stage "streaming benchmark" streaming_gate
+    stage "calibration convergence gate" calibration_gate
+    stage "service benchmark gate" service_gate
+fi
+
+printf '{"group":"%s","stages":[%s]}\n' "$GROUP" "$STAGE_JSON" > "ci-stage-times-$GROUP.json"
+echo "== stage times ($GROUP) =="
 printf "$STAGES"
-echo "CI OK"
+echo "stage timings written to ci-stage-times-$GROUP.json"
+echo "CI OK ($GROUP)"

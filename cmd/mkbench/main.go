@@ -31,6 +31,9 @@ func main() {
 	streaming := flag.Bool("streaming", false, "run the streaming-execution benchmark (fused vs materialized throughput, peak memory, codec sizes)")
 	streamingRows := flag.Int("streaming-rows", 0, "input rows for the streaming chain benchmark (0 = default)")
 	streamingJSON := flag.String("streaming-json", "", "write the streaming benchmark report to this JSON file (e.g. BENCH_streaming.json)")
+	service := flag.Int("service", 0, "run the serve-mode load benchmark with this many storm sessions (0 = skip; <0 = default 240)")
+	serviceTenants := flag.Int("service-tenants", 0, "service: tenant namespaces to spread the storm across (0 = default 4)")
+	serviceJSON := flag.String("service-json", "", "write the service benchmark report to this JSON file (e.g. BENCH_service.json)")
 	chaosBench := flag.Bool("chaos", false, "run the chaos benchmark (makespan inflation vs fault rate per engine)")
 	chaosSeed := flag.Int64("chaos-seed", 7, "seed for the chaos benchmark's fault plans")
 	chaosJSON := flag.String("chaos-json", "", "write the chaos benchmark report to this JSON file (e.g. BENCH_chaos.json)")
@@ -61,6 +64,31 @@ func main() {
 		if *concurrencyJSON != "" {
 			if err := bench.WriteConcurrencyJSON(*concurrencyJSON, rep); err != nil {
 				fmt.Fprintln(os.Stderr, "concurrency:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *service != 0 || *serviceJSON != "" {
+		n := *service
+		if n < 0 {
+			n = 0 // RunService picks the default
+		}
+		rep, err := bench.RunService(context.Background(), n, *serviceTenants)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "service:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("service cold   %3d sessions  p50 %7.2fms  p99 %7.2fms\n", rep.Cold.Samples, rep.Cold.P50MS, rep.Cold.P99MS)
+		fmt.Printf("service hit    %3d sessions  p50 %7.2fms  p99 %7.2fms  (converged after %d rounds)\n",
+			rep.Hit.Samples, rep.Hit.P50MS, rep.Hit.P99MS, rep.ConvergenceRounds)
+		fmt.Printf("service storm  %3d sessions  p50 %7.2fms  p99 %7.2fms  %6.1f wf/s  hit rate %.0f%%\n",
+			rep.Storm.Samples, rep.Storm.P50MS, rep.Storm.P99MS, rep.StormThroughputWFPS, 100*rep.HitRate)
+		fmt.Printf("service plan-cache speedup: %.2fx (cold p50 / hit p50)\n", rep.Speedup)
+		if *serviceJSON != "" {
+			if err := bench.WriteServiceJSON(*serviceJSON, rep); err != nil {
+				fmt.Fprintln(os.Stderr, "service:", err)
 				os.Exit(1)
 			}
 		}

@@ -23,6 +23,14 @@
 //
 //	mkbench -accuracy -rounds 3 -accuracy-json /tmp/fresh.json
 //	mkbenchgate -accuracy BENCH_accuracy.json -fresh-accuracy /tmp/fresh.json
+//
+// Service gate — fresh `mkbench -service` report vs BENCH_service.json
+// (the plan-cache speedup and storm hit rate must not fall below baseline
+// beyond the threshold; the hit and storm p99 latencies must not blow past
+// it plus absolute slack):
+//
+//	mkbench -service -1 -service-json /tmp/fresh.json
+//	mkbenchgate -service BENCH_service.json -fresh-service /tmp/fresh.json
 package main
 
 import (
@@ -39,6 +47,8 @@ func main() {
 	freshConcurrency := flag.String("fresh-concurrency", "", "fresh concurrency report (mkbench -concurrency-json)")
 	accuracy := flag.String("accuracy", "", "committed accuracy baseline (BENCH_accuracy.json)")
 	freshAccuracy := flag.String("fresh-accuracy", "", "fresh accuracy report (mkbench -accuracy-json)")
+	service := flag.String("service", "", "committed service baseline (BENCH_service.json)")
+	freshService := flag.String("fresh-service", "", "fresh service report (mkbench -service-json)")
 	threshold := flag.Float64("threshold", 25, "allowed regression in percent")
 	flag.Parse()
 
@@ -117,8 +127,27 @@ func main() {
 		ran = true
 	}
 
+	if *service != "" || *freshService != "" {
+		if *service == "" || *freshService == "" {
+			fail("service gate needs both -service and -fresh-service")
+		}
+		base, err := loadServiceReport(*service)
+		if err != nil {
+			fail("%v", err)
+		}
+		fresh, err := loadServiceReport(*freshService)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("service gate: fresh speedup %.2fx / hit rate %.0f%% / storm p99 %.0fms vs baseline %.2fx / %.0f%% / %.0fms, threshold %.0f%%\n",
+			fresh.Speedup, 100*fresh.HitRate, fresh.Storm.P99MS,
+			base.Speedup, 100*base.HitRate, base.Storm.P99MS, *threshold)
+		regs = append(regs, CompareService(fresh, base, th)...)
+		ran = true
+	}
+
 	if !ran {
-		fail("nothing to gate: pass -kernels/-bench, -concurrency/-fresh-concurrency and/or -accuracy/-fresh-accuracy")
+		fail("nothing to gate: pass -kernels/-bench, -concurrency/-fresh-concurrency, -accuracy/-fresh-accuracy and/or -service/-fresh-service")
 	}
 	if len(regs) > 0 {
 		for _, r := range regs {

@@ -76,6 +76,8 @@ func main() {
 			os.Exit(run("stats", os.Args[2:], true))
 		case "top":
 			os.Exit(runTop(os.Args[2:]))
+		case "serve":
+			os.Exit(runServe(os.Args[2:]))
 		}
 	}
 	os.Exit(run("musketeer", os.Args[1:], false))

@@ -3,6 +3,7 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"sort"
 	"sync"
@@ -20,9 +21,16 @@ import (
 // per-operator-class selectivities, seeded from the Table-1 profiles and
 // the conservative hiBound factors, refined after every execution from
 // observed phase breakdowns and per-operator size ratios. Updates are
-// damped exponential moving averages — one noisy run nudges the model, it
-// cannot wreck it — and every update bumps a version so estimator memo
-// tables know their cached scores are stale.
+// damped moving averages with a decaying step — one noisy run nudges the
+// model, it cannot wreck it, and a steady workload's model settles on the
+// mean of what it observes — and an update that drifts a learned value
+// *materially* from where it sat at the last bump advances a version so
+// estimator memo tables and the serve-mode plan cache know their cached
+// scores are stale. Sub-threshold wobble (a converged model re-observing
+// the same workload) deliberately does not bump: otherwise every
+// execution's own feedback would invalidate every cached plan and
+// memoized score in steady state, for estimate changes far too small to
+// alter any planning decision.
 
 const (
 	// SelectivityDamping is the EWMA step for per-class output ratios.
@@ -43,23 +51,60 @@ const (
 	// blow up output sizes, but no class model should exceed the worst
 	// conservative bound by more than an order of magnitude.
 	maxSelectivity = 250.0
+	// versionEpsilon is the relative drift of a learned value — measured
+	// from its anchor, the value it held at the last version bump — below
+	// which updates are immaterial: the version is not bumped, so converged
+	// models stop invalidating memo tables and cached plans. 1% is far
+	// below any margin at which the partitioner's engine choice could flip.
+	// Anchoring to the last bump (not the last update) means many tiny
+	// moves that accumulate into a real drift still invalidate, while
+	// steady-state wobble around a fixed point never does.
+	versionEpsilon = 0.01
 )
 
-// EngineCalibration is one engine's seed vs learned phase rates.
+// materially reports whether a learned value drifted enough from its
+// anchor to warrant invalidating version-pinned caches.
+func materially(anchor, new float64) bool {
+	base := math.Abs(anchor)
+	if base < 1e-12 {
+		base = 1e-12
+	}
+	return math.Abs(new-anchor)/base > versionEpsilon
+}
+
+// step is the damped update size for the n-th observation (n counted from
+// zero): α₀ on first evidence, then the Robbins–Monro schedule
+// α₀/(1+α₀·n). A class model is fed *heterogeneous* instances — two JOINs
+// in one workflow can have wildly different selectivities — and under a
+// constant step the learned value oscillates between them forever with
+// amplitude ~α₀·spread, re-invalidating every version-pinned cache on
+// every run. The decaying step converges to the observation stream's mean
+// instead, and because Σstep diverges the model still tracks a genuine
+// workload shift, just increasingly slowly.
+func step(alpha0 float64, n int) float64 {
+	return alpha0 / (1 + alpha0*float64(n))
+}
+
+// EngineCalibration is one engine's seed vs learned phase rates. The
+// unexported anchor holds each rate's value at the last version bump;
+// drift is measured against it (it deliberately does not persist — a
+// reloaded store re-anchors on its first update).
 type EngineCalibration struct {
 	Engine  string        `json:"engine"`
 	Seed    engines.Rates `json:"seed"`
 	Learned engines.Rates `json:"learned"`
 	Samples int           `json:"samples"`
+	anchor  engines.Rates
 }
 
 // SelectivityCalibration is one operator class's seed vs learned
-// output-size ratio.
+// output-size ratio; anchor as in EngineCalibration.
 type SelectivityCalibration struct {
 	Class   string  `json:"class"`
 	Seed    float64 `json:"seed"`
 	Learned float64 `json:"learned"`
 	Samples int     `json:"samples"`
+	anchor  float64
 }
 
 // CalibrationSnapshot is a point-in-time copy of the store, used for
@@ -168,13 +213,16 @@ func (c *Calibration) ObserveSelectivity(t ir.OpType, ratio float64) {
 	c.mu.Lock()
 	sc, ok := c.sels[key]
 	if !ok {
-		sc = &SelectivityCalibration{Class: key, Seed: hiBound(t), Learned: hiBound(t)}
+		sc = &SelectivityCalibration{Class: key, Seed: hiBound(t), Learned: hiBound(t), anchor: hiBound(t)}
 		c.sels[key] = sc
 	}
-	sc.Learned += SelectivityDamping * (ratio - sc.Learned)
+	sc.Learned += step(SelectivityDamping, sc.Samples) * (ratio - sc.Learned)
 	sc.Samples++
 	c.touch()
-	c.version.Add(1)
+	if materially(sc.anchor, sc.Learned) {
+		sc.anchor = sc.Learned
+		c.version.Add(1)
+	}
 	c.mu.Unlock()
 }
 
@@ -190,26 +238,28 @@ func (c *Calibration) ObserveRates(eng *engines.Engine, obs engines.Rates) {
 	ec, ok := c.engs[eng.Name()]
 	if !ok {
 		seed := eng.SeedRates()
-		ec = &EngineCalibration{Engine: eng.Name(), Seed: seed, Learned: seed}
+		ec = &EngineCalibration{Engine: eng.Name(), Seed: seed, Learned: seed, anchor: seed}
 		c.engs[eng.Name()] = ec
 	}
 	fields := []struct {
-		seed, learned, obs *float64
+		seed, learned, anchor, obs *float64
 	}{
-		{&ec.Seed.OverheadS, &ec.Learned.OverheadS, &obs.OverheadS},
-		{&ec.Seed.PullMBps, &ec.Learned.PullMBps, &obs.PullMBps},
-		{&ec.Seed.LoadMBps, &ec.Learned.LoadMBps, &obs.LoadMBps},
-		{&ec.Seed.ProcMBps, &ec.Learned.ProcMBps, &obs.ProcMBps},
-		{&ec.Seed.GraphProcMBps, &ec.Learned.GraphProcMBps, &obs.GraphProcMBps},
-		{&ec.Seed.PushMBps, &ec.Learned.PushMBps, &obs.PushMBps},
-		{&ec.Seed.ShuffleMBps, &ec.Learned.ShuffleMBps, &obs.ShuffleMBps},
+		{&ec.Seed.OverheadS, &ec.Learned.OverheadS, &ec.anchor.OverheadS, &obs.OverheadS},
+		{&ec.Seed.PullMBps, &ec.Learned.PullMBps, &ec.anchor.PullMBps, &obs.PullMBps},
+		{&ec.Seed.LoadMBps, &ec.Learned.LoadMBps, &ec.anchor.LoadMBps, &obs.LoadMBps},
+		{&ec.Seed.ProcMBps, &ec.Learned.ProcMBps, &ec.anchor.ProcMBps, &obs.ProcMBps},
+		{&ec.Seed.GraphProcMBps, &ec.Learned.GraphProcMBps, &ec.anchor.GraphProcMBps, &obs.GraphProcMBps},
+		{&ec.Seed.PushMBps, &ec.Learned.PushMBps, &ec.anchor.PushMBps, &obs.PushMBps},
+		{&ec.Seed.ShuffleMBps, &ec.Learned.ShuffleMBps, &ec.anchor.ShuffleMBps, &obs.ShuffleMBps},
 	}
+	st := step(RateDamping, ec.Samples)
+	moved := false
 	for _, f := range fields {
 		o := *f.obs
 		if o <= 0 || o != o || *f.seed <= 0 {
 			continue // no signal, or the engine has no such phase
 		}
-		v := *f.learned + RateDamping*(o-*f.learned)
+		v := *f.learned + st*(o-*f.learned)
 		if lo := *f.seed / rateClampFactor; v < lo {
 			v = lo
 		}
@@ -217,10 +267,16 @@ func (c *Calibration) ObserveRates(eng *engines.Engine, obs engines.Rates) {
 			v = hi
 		}
 		*f.learned = v
+		if materially(*f.anchor, v) {
+			*f.anchor = v
+			moved = true
+		}
 	}
 	ec.Samples++
 	c.touch()
-	c.version.Add(1)
+	if moved {
+		c.version.Add(1)
+	}
 	c.mu.Unlock()
 }
 

@@ -271,3 +271,39 @@ func TestHistoryRoundTripCarriesCalibration(t *testing.T) {
 		t.Error("loaded calibration lost learned rates")
 	}
 }
+
+func TestCalibrationImmaterialUpdatesKeepVersion(t *testing.T) {
+	// A converged model re-observing its own fixed point must not bump the
+	// version: steady-state feedback would otherwise invalidate every
+	// version-pinned cache (estimator memos, serve-mode plan cache) on
+	// every run, for estimate changes too small to alter any decision.
+	cal := NewCalibration()
+	eng := engines.Naiad()
+	slow := eng.SeedRates()
+	slow.ProcMBps /= 2
+	cal.ObserveRates(eng, slow)
+	if cal.Version() == 0 {
+		t.Fatal("material first rate observation did not bump the version")
+	}
+	for i := 0; i < 64; i++ {
+		cal.ObserveRates(eng, slow)
+	}
+	v := cal.Version()
+	cal.ObserveRates(eng, slow)
+	if got := cal.Version(); got != v {
+		t.Errorf("converged rate re-observation bumped version %d -> %d", v, got)
+	}
+
+	cal.ObserveSelectivity(ir.OpJoin, 0.25)
+	if cal.Version() == v {
+		t.Fatal("material first selectivity observation did not bump the version")
+	}
+	for i := 0; i < 64; i++ {
+		cal.ObserveSelectivity(ir.OpJoin, 0.25)
+	}
+	v = cal.Version()
+	cal.ObserveSelectivity(ir.OpJoin, 0.25)
+	if got := cal.Version(); got != v {
+		t.Errorf("converged selectivity re-observation bumped version %d -> %d", v, got)
+	}
+}

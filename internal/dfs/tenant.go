@@ -1,0 +1,67 @@
+package dfs
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TenantRoot is the storage prefix reserved for tenant namespaces: tenant t
+// lives under TenantRoot+"/"+t. Deployment-level paths never start with it,
+// so tenant views and the root view cannot alias.
+const TenantRoot = "__tenant"
+
+// ValidateName checks a tenant (or other namespace-segment) name: it must
+// be a single non-empty path segment of [a-z A-Z 0-9 _ -] and at most 64
+// bytes. Storage keys are flat strings — "../" has no traversal semantics
+// here — but rejecting separators and dots up front keeps every tenant's
+// prefix disjoint by construction and the names safe to embed in URLs,
+// metrics labels, and run digests.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("dfs: empty namespace name")
+	}
+	if len(name) > 64 {
+		return fmt.Errorf("dfs: namespace name longer than 64 bytes")
+	}
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return fmt.Errorf("dfs: namespace name %q: invalid character %q", name, r)
+		}
+	}
+	return nil
+}
+
+// ValidatePath checks a user-supplied relation path: non-empty, relative
+// (no leading or trailing "/"), no empty, ".", or ".." segments, and no
+// segment starting with "__" (the session/tenant machinery's reserved
+// prefix). Keys are flat so none of these would traverse anywhere, but a
+// path that *looks* like it escapes its namespace is a client bug worth a
+// 400 rather than a silently-distinct key.
+func ValidatePath(path string) error {
+	if path == "" {
+		return fmt.Errorf("dfs: empty path")
+	}
+	if strings.HasPrefix(path, "/") || strings.HasSuffix(path, "/") {
+		return fmt.Errorf("dfs: path %q must be relative", path)
+	}
+	for _, seg := range strings.Split(path, "/") {
+		switch {
+		case seg == "", seg == ".", seg == "..":
+			return fmt.Errorf("dfs: path %q has an empty or dot segment", path)
+		case strings.HasPrefix(seg, "__"):
+			return fmt.Errorf("dfs: path %q uses the reserved %q prefix", path, "__")
+		}
+	}
+	return nil
+}
+
+// TenantView returns the view scoped to the named tenant's namespace,
+// validating the name first.
+func (d *DFS) TenantView(name string) (*DFS, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	return d.Namespace(TenantRoot + "/" + name), nil
+}

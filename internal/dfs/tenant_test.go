@@ -1,0 +1,69 @@
+package dfs
+
+import (
+	"strings"
+	"testing"
+
+	"musketeer/internal/relation"
+)
+
+func TestValidateName(t *testing.T) {
+	for _, ok := range []string{"a", "tenant-1", "Team_A", "x9", strings.Repeat("a", 64)} {
+		if err := ValidateName(ok); err != nil {
+			t.Errorf("ValidateName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", "a/b", "a b", "a\n", "../x", "a.b", strings.Repeat("a", 65), "ü"} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestValidatePath(t *testing.T) {
+	for _, ok := range []string{"in/props", "a", "a/b/c", "out-1/x_y"} {
+		if err := ValidatePath(ok); err != nil {
+			t.Errorf("ValidatePath(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "/abs", "trail/", "a//b", "a/./b", "a/../b", "__run/1", "x/__tenant/y"} {
+		if err := ValidatePath(bad); err == nil {
+			t.Errorf("ValidatePath(%q) = nil, want error", bad)
+		}
+	}
+}
+
+func TestTenantViewsDisjoint(t *testing.T) {
+	root := New()
+	a, err := root.TenantView("alpha")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := root.TenantView("beta")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := relation.New("r", relation.NewSchema("id:int"))
+	rel.MustAppend(relation.Row{relation.Int(1)})
+	if err := a.WriteRelation("in/r", rel); err != nil {
+		t.Fatal(err)
+	}
+	if b.Exists("in/r") {
+		t.Error("tenant beta sees tenant alpha's file")
+	}
+	if _, err := b.ReadRelation("in/r"); err == nil {
+		t.Error("tenant beta read tenant alpha's file")
+	}
+	// A path that textually aims at alpha's file from beta's view resolves
+	// to a distinct flat key, not alpha's data.
+	if _, err := b.ReadRelation("../alpha/in/r"); err == nil {
+		t.Error("dot-dot path crossed namespaces")
+	}
+	// The root view still addresses both.
+	if !root.Exists(TenantRoot + "/alpha/in/r") {
+		t.Error("root view lost the tenant file")
+	}
+	if _, err := root.TenantView("no/slashes"); err == nil {
+		t.Error("TenantView accepted an invalid name")
+	}
+}

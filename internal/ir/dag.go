@@ -279,8 +279,14 @@ func (d *DAG) Hash() string {
 			op.Params.As, op.Params.GroupBy, op.Params.Aggs)
 		fmt.Fprintf(h, "%v|%v|%v|%v|%v|%d|", op.Params.LeftCols, op.Params.RightCols, op.Params.UDFName,
 			op.Params.SortBy, op.Params.Desc, op.Params.Limit)
+		if op.Type == OpArith {
+			// Operand literals matter: two arithmetic steps differing only in
+			// a constant are different workflows.
+			fmt.Fprintf(h, "%s=%s %s %s|", op.Params.Dst, op.Params.ALeft, op.Params.AOp, op.Params.ARght)
+		}
 		if op.Params.Body != nil {
-			fmt.Fprintf(h, "body:%s|%d|%s|", op.Params.Body.Hash(), op.Params.MaxIter, op.Params.CondRel)
+			// %v prints maps with sorted keys, so Carried hashes stably.
+			fmt.Fprintf(h, "body:%s|%d|%s|%v|", op.Params.Body.Hash(), op.Params.MaxIter, op.Params.CondRel, op.Params.Carried)
 		}
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]

@@ -37,6 +37,9 @@ type RunDigest struct {
 	Workflow string `json:"workflow,omitempty"`
 	// Namespace is the execution's DFS session prefix.
 	Namespace string `json:"namespace,omitempty"`
+	// Tenant names the tenant the execution ran for ("" outside serve
+	// mode's multi-tenant sessions).
+	Tenant string `json:"tenant,omitempty"`
 	// Start and WallMS place the execution on the real clock.
 	Start  time.Time `json:"start"`
 	WallMS float64   `json:"wall_ms"`

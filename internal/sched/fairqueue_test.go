@@ -1,0 +1,217 @@
+package sched
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// plugged builds a FairQueue whose single worker is blocked on a plug job,
+// so tests can stage queue contents and then observe dispatch order
+// deterministically.
+func plugged(t *testing.T, opts FairOptions) (*FairQueue, chan struct{}) {
+	t.Helper()
+	opts.Workers = 1
+	f := NewFairQueue(opts)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if err := f.Submit("__plug", func() {
+		close(started)
+		<-release
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	return f, release
+}
+
+// TestFairQueueStarvation is the ISSUE's pinned property: a tenant
+// flooding 100 submissions cannot starve a second tenant's single job past
+// its fair share. With one worker and round-robin dispatch, B's job must
+// run no later than second once the worker frees up — not 101st.
+func TestFairQueueStarvation(t *testing.T) {
+	f, release := plugged(t, FairOptions{MaxQueued: 200})
+	defer f.Close()
+
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{}, 101)
+	record := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			done <- struct{}{}
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := f.Submit("flooder", record("A")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Submit("patient", record("B")); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	for i := 0; i < 101; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("queue stalled after %d completions", i)
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	pos := -1
+	for i, name := range order {
+		if name == "B" {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 || pos > 1 {
+		t.Fatalf("tenant B dispatched at position %d of %d, want within the first 2 (order head: %v)",
+			pos, len(order), order[:min(5, len(order))])
+	}
+	if len(order) != 101 {
+		t.Fatalf("completed %d submissions, want 101", len(order))
+	}
+}
+
+func TestFairQueueRejectsBeyondMaxQueued(t *testing.T) {
+	f, release := plugged(t, FairOptions{MaxQueued: 3})
+	defer f.Close()
+	defer close(release)
+
+	for i := 0; i < 3; i++ {
+		if err := f.Submit("t", func() {}); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	if err := f.Submit("t", func() {}); err != ErrQueueFull {
+		t.Fatalf("4th submit: got %v, want ErrQueueFull", err)
+	}
+	// The bound is per tenant: another tenant still gets in.
+	if err := f.Submit("other", func() {}); err != nil {
+		t.Fatalf("other tenant rejected: %v", err)
+	}
+	if got := f.Queued("t"); got != 3 {
+		t.Fatalf("Queued(t) = %d, want 3", got)
+	}
+}
+
+func TestFairQueueMaxInFlight(t *testing.T) {
+	f := NewFairQueue(FairOptions{Workers: 4, MaxInFlight: 1})
+	defer f.Close()
+
+	block := make(chan struct{})
+	running := make(chan struct{}, 4)
+	for i := 0; i < 3; i++ {
+		if err := f.Submit("capped", func() {
+			running <- struct{}{}
+			<-block
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-running
+	// With MaxInFlight 1, the other two must stay queued even though three
+	// workers idle.
+	time.Sleep(50 * time.Millisecond)
+	if got := f.InFlight("capped"); got != 1 {
+		t.Errorf("InFlight = %d, want 1", got)
+	}
+	if got := f.Queued("capped"); got != 2 {
+		t.Errorf("Queued = %d, want 2", got)
+	}
+	// Another tenant is not affected by the cap.
+	ran := make(chan struct{})
+	if err := f.Submit("free", func() { close(ran) }); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ran:
+	case <-time.After(5 * time.Second):
+		t.Fatal("uncapped tenant blocked behind a capped one")
+	}
+	close(block)
+}
+
+func TestFairQueueWeights(t *testing.T) {
+	f, release := plugged(t, FairOptions{
+		MaxQueued: 50,
+		Weights:   map[string]int{"gold": 2, "bronze": 1},
+	})
+	defer f.Close()
+
+	var mu sync.Mutex
+	var order []string
+	done := make(chan struct{}, 12)
+	rec := func(name string) func() {
+		return func() {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+			done <- struct{}{}
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := f.Submit("gold", rec("g")); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.Submit("bronze", rec("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	for i := 0; i < 12; i++ {
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("queue stalled")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// In the first 6 dispatches, gold (weight 2) must appear about twice as
+	// often as bronze: 4 of 6.
+	g := 0
+	for _, name := range order[:6] {
+		if name == "g" {
+			g++
+		}
+	}
+	if g != 4 {
+		t.Errorf("gold got %d of the first 6 dispatches, want 4 (order: %v)", g, order)
+	}
+}
+
+func TestFairQueueSubmitAfterClose(t *testing.T) {
+	f := NewFairQueue(FairOptions{Workers: 1})
+	f.Close()
+	if err := f.Submit("t", func() {}); err != ErrQueueClosed {
+		t.Fatalf("got %v, want ErrQueueClosed", err)
+	}
+	// Close is idempotent.
+	f.Close()
+}
+
+func TestFairQueueCloseWaitsForInFlight(t *testing.T) {
+	f := NewFairQueue(FairOptions{Workers: 2})
+	started := make(chan struct{})
+	finished := make(chan struct{})
+	if err := f.Submit("t", func() {
+		close(started)
+		time.Sleep(100 * time.Millisecond)
+		close(finished)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	f.Close()
+	select {
+	case <-finished:
+	default:
+		t.Fatal("Close returned before the in-flight submission finished")
+	}
+}

@@ -170,6 +170,10 @@ type Musketeer struct {
 	// per-iteration spans diverge >2x from the prediction; off by default
 	// so golden traces stay reproducible.
 	adaptiveWhile bool
+	// planCache memoizes partitionings across executions keyed on the
+	// canonicalized IR (see WithPlanCache); nil (the default) disables it.
+	planCache    *core.PlanCache
+	planCacheCap int
 }
 
 // Option configures New.
@@ -286,6 +290,18 @@ func WithRunRetention(n int) Option {
 	return func(m *Musketeer) { m.runRetention = n }
 }
 
+// WithPlanCache memoizes up to n partitionings across executions, keyed on
+// the canonicalized IR (independent of relation names and operator
+// insertion order) and the engine set, and pinned to the calibration
+// version. A repeated submission of a semantically identical workflow
+// skips compile, optimize, and the partition search entirely and replays
+// the cached plan onto its own DAG; calibration updates invalidate stale
+// entries on lookup. The cache exports plan_cache_{hit,miss,evict}_total
+// on the deployment metrics. n <= 0 disables caching (the default).
+func WithPlanCache(n int) Option {
+	return func(m *Musketeer) { m.planCacheCap = n }
+}
+
 // WithTransientFailures kills individual job attempts outright with the
 // given probability (deterministic per seed, job, and attempt). Combine
 // with WithRetries to exercise the scheduler's re-submission path; without
@@ -315,6 +331,7 @@ func New(opts ...Option) *Musketeer {
 		o(m)
 	}
 	m.runs = obs.NewRunRegistry(m.runRetention)
+	m.planCache = core.NewPlanCache(m.planCacheCap, m.metrics)
 	m.sched = sched.New(sched.Options{
 		Workers:             m.workers,
 		MaxRetries:          m.retries,
@@ -397,6 +414,10 @@ type Workflow struct {
 	// Mode selects generated-code quality (default ModeOptimized).
 	Mode PlanMode
 
+	// tenant scopes every execution's DFS session under the named tenant's
+	// namespace ("" = the deployment root; see BindTenant).
+	tenant string
+
 	optOnce sync.Once
 	optN    int
 	// compileWall is how long front-end translation took; traced
@@ -474,6 +495,34 @@ func (m *Musketeer) FromDAG(dag *ir.DAG) (*Workflow, error) {
 // DAG exposes the workflow's intermediate representation.
 func (w *Workflow) DAG() *ir.DAG { return w.dag }
 
+// BindTenant scopes the workflow's executions to the named tenant: inputs
+// resolve from, and outputs publish to, the tenant's private DFS namespace
+// instead of the deployment root. The name must be a valid namespace
+// segment (dfs.ValidateName). Bind before the first execution.
+func (w *Workflow) BindTenant(name string) error {
+	if err := dfs.ValidateName(name); err != nil {
+		return err
+	}
+	w.tenant = name
+	return nil
+}
+
+// sessionFS is the DFS view the workflow's executions resolve against: the
+// deployment root, or the bound tenant's namespace.
+func (w *Workflow) sessionFS() *dfs.DFS {
+	if w.tenant == "" {
+		return w.m.fs
+	}
+	return w.m.fs.Namespace(dfs.TenantRoot + "/" + w.tenant)
+}
+
+// TenantFS returns a DFS view scoped to the named tenant's namespace, for
+// staging inputs and reading outputs on a tenant's behalf (the serve API's
+// storage plane). The name is validated first.
+func (m *Musketeer) TenantFS(name string) (*dfs.DFS, error) {
+	return m.fs.TenantView(name)
+}
+
 // Report is the workflow analyzer's full diagnostic report.
 type Report = analysis.Report
 
@@ -498,7 +547,7 @@ func (w *Workflow) Optimize() int {
 // chaos plan is installed, fragment scores include each engine's expected
 // fault-recovery cost, so automatic mapping reacts to the fault rate.
 func (w *Workflow) estimator() (*core.Estimator, error) {
-	est, err := core.NewEstimator(w.dag, w.m.fs, w.m.cluster, w.m.history)
+	est, err := core.NewEstimator(w.dag, w.sessionFS(), w.m.cluster, w.m.history)
 	if err != nil {
 		return nil, err
 	}
@@ -631,6 +680,9 @@ type Result struct {
 	// RunID addresses this execution's digest in the deployment's run
 	// registry (Runs, /debug/runs/<id>).
 	RunID string
+	// PlanCacheHit reports that the execution replayed a cached plan
+	// instead of compiling, optimizing, and searching (see WithPlanCache).
+	PlanCacheHit bool
 }
 
 // Run executes a previously computed partitioning with no cancellation
@@ -670,16 +722,25 @@ func (w *Workflow) workflowName() string {
 // run logger is installed, a workflow_start/workflow_complete (or
 // workflow_failed) event pair bracketing the job-level events.
 func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.Recorder, root *obs.Span) (*Result, error) {
+	base := w.sessionFS()
 	ns := fmt.Sprintf("__run/%d", w.m.runSeq.Add(1))
-	root.SetStr("namespace", ns)
+	// nsFull is the namespace as seen from the deployment root; for tenant
+	// sessions it carries the tenant prefix ("" tenant leaves it as ns, so
+	// untenanted traces and digests are unchanged).
+	nsFull := ns
+	if p := base.Prefix(); p != "" {
+		nsFull = p + "/" + ns
+	}
+	root.SetStr("namespace", nsFull)
 	name := w.workflowName()
 	start := time.Now()
-	log := w.m.logger.WithRun(ns)
+	log := w.m.logger.WithRun(nsFull)
 	log.Info("workflow_start").Str("workflow", name).Int("jobs", int64(len(part.Jobs))).Emit()
 	digest := func(status string, res *core.WorkflowResult, runErr error) string {
 		d := obs.RunDigest{
 			Workflow:  name,
-			Namespace: ns,
+			Namespace: nsFull,
+			Tenant:    w.tenant,
 			Start:     start,
 			WallMS:    time.Since(start).Seconds() * 1e3,
 			Status:    status,
@@ -715,7 +776,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 			continue
 		}
 		path := engines.InputPath(op)
-		if err := w.m.fs.Copy(path, ns+"/"+path); err != nil {
+		if err := base.Copy(path, ns+"/"+path); err != nil {
 			err = fmt.Errorf("musketeer: staging input %q into session: %w", op.Out, err)
 			w.m.metrics.Counter("workflows_failed_total").Add(1)
 			log.Error("workflow_failed").Str("workflow", name).Err(err).Emit()
@@ -728,7 +789,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		shuffleCodec = relation.CodecColumnar
 	}
 	r := &core.Runner{
-		Ctx:           engines.RunContext{DFS: w.m.fs.Namespace(ns), Cluster: w.m.cluster, Chaos: w.m.chaos, ShuffleCodec: shuffleCodec},
+		Ctx:           engines.RunContext{DFS: base.Namespace(ns), Cluster: w.m.cluster, Chaos: w.m.chaos, ShuffleCodec: shuffleCodec},
 		History:       w.m.history,
 		Mode:          w.Mode,
 		Sched:         w.m.sched,
@@ -747,7 +808,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		return nil, err
 	}
 	for _, sink := range w.dag.Sinks() {
-		if err := w.m.fs.Copy(ns+"/"+sink.Out, sink.Out); err != nil {
+		if err := base.Copy(ns+"/"+sink.Out, sink.Out); err != nil {
 			err = fmt.Errorf("musketeer: publishing output %q: %w", sink.Out, err)
 			w.m.metrics.Counter("workflows_failed_total").Add(1)
 			log.Error("workflow_failed").Str("workflow", name).Err(err).Emit()
@@ -769,7 +830,7 @@ func (w *Workflow) runSession(ctx context.Context, part *Partitioning, rec *obs.
 		Jobs:         res.Jobs,
 		OOM:          res.OOM,
 		Partitioning: part,
-		Namespace:    ns,
+		Namespace:    nsFull,
 		Flight:       rec,
 		Accuracy:     res.Accuracy,
 		RunID:        runID,
@@ -798,10 +859,64 @@ func (w *Workflow) ExecuteOnCtx(ctx context.Context, engine string) (*Result, er
 	return w.executeTraced(ctx, engine)
 }
 
+// planEngines resolves the candidate engine set: every registered standard
+// engine for auto-mapping, or the one named back-end.
+func (w *Workflow) planEngines(engine string) ([]*engines.Engine, error) {
+	if engine == "" {
+		return w.standardEngines(), nil
+	}
+	eng, ok := w.m.engines[engine]
+	if !ok {
+		return nil, fmt.Errorf("musketeer: unknown engine %q", engine)
+	}
+	return []*engines.Engine{eng}, nil
+}
+
 // executeTraced is the full traced pipeline: compile (replayed from the
 // front-end's measured translation time), optimize, partition-search, then
 // the session run. engine == "" auto-maps.
+//
+// With a plan cache installed, the optimized DAG's canonical hash is
+// checked first: a hit replays the cached partitioning and runs it under a
+// bare workflow span — no compile, optimize, or partition-search spans, as
+// those phases genuinely did not happen — while a miss runs the full
+// pipeline and stores the freshly searched plan for the next submission.
+//
+// Entries are tagged with the calibration version read *after* the run:
+// execution feedback (ObserveRun/ObserveSelectivity) bumps the version
+// during every session, so a pre-run tag would be stale the moment the run
+// finished and the cache would never hit. Tagging post-run — and
+// re-tagging after each hit's run — pins the entry to "calibration has not
+// changed since this plan last ran", which only foreign feedback (another
+// workflow's run, a calibration load) breaks.
 func (w *Workflow) executeTraced(ctx context.Context, engine string) (*Result, error) {
+	var cacheKey string
+	if pc := w.m.planCache; pc != nil {
+		engs, err := w.planEngines(engine)
+		if err != nil {
+			return nil, err
+		}
+		// Optimize is deterministic and idempotent (optOnce), so hashing the
+		// optimized DAG keys the cache on what the partition search actually
+		// sees; recipes then replay onto optimized DAGs of later submissions.
+		w.Optimize()
+		cacheKey = core.PlanKey(w.dag, engs)
+		calVersion := w.m.history.Calibration().Version()
+		if part, ok := pc.Lookup(cacheKey, w.dag, calVersion, w.m.engines); ok {
+			rec := w.m.startRun()
+			root := rec.StartSpan(nil, "workflow", "pipeline")
+			defer root.End()
+			root.SetStr("plan_cache", "hit")
+			res, err := w.runSession(ctx, part, rec, root)
+			if res != nil {
+				res.PlanCacheHit = true
+			}
+			if err == nil {
+				pc.Touch(cacheKey, w.m.history.Calibration().Version())
+			}
+			return res, err
+		}
+	}
 	rec := w.m.startRun()
 	root := rec.StartSpan(nil, "workflow", "pipeline")
 	defer root.End()
@@ -818,7 +933,11 @@ func (w *Workflow) executeTraced(ctx context.Context, engine string) (*Result, e
 	if err != nil {
 		return nil, err
 	}
-	return w.runSession(ctx, part, rec, root)
+	res, err := w.runSession(ctx, part, rec, root)
+	if pc := w.m.planCache; pc != nil && err == nil {
+		pc.Store(cacheKey, w.dag, w.m.history.Calibration().Version(), part)
+	}
+	return res, err
 }
 
 // Explain renders the partitioning with the cost model's reasoning: per
